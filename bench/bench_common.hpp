@@ -1,0 +1,72 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every binary regenerates one table/figure of the paper's evaluation
+// and prints the same rows/series. Dataset scale and snapshot count can
+// be overridden via TAGNN_SCALE / TAGNN_SNAPSHOTS (see README).
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "graph/datasets.hpp"
+#include "nn/engine.hpp"
+#include "nn/weights.hpp"
+
+namespace tagnn::bench {
+
+inline double scale() {
+  if (const char* s = std::getenv("TAGNN_SCALE")) return std::atof(s);
+  return 0.3;
+}
+
+inline std::size_t snapshots() {
+  if (const char* s = std::getenv("TAGNN_SNAPSHOTS")) {
+    return static_cast<std::size_t>(std::atoi(s));
+  }
+  return 8;
+}
+
+inline std::vector<std::string> all_datasets() { return datasets::names(); }
+
+inline std::vector<std::string> all_models() {
+  return {"CD-GCN", "GC-LSTM", "T-GCN"};
+}
+
+struct Workload {
+  std::string model;
+  std::string dataset;
+  DynamicGraph g;
+  DgnnWeights w;
+};
+
+inline Workload load(const std::string& model, const std::string& dataset) {
+  Workload wl;
+  wl.model = model;
+  wl.dataset = dataset;
+  wl.g = datasets::load(dataset, scale(), snapshots());
+  wl.w = DgnnWeights::init(ModelConfig::preset(model), wl.g.feature_dim(),
+                           /*seed=*/99);
+  return wl;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::cout << "\n==== " << title << " ====\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "dataset scale: " << scale() << "x of the scaled presets, "
+            << snapshots() << " snapshots (see DESIGN.md)\n\n";
+}
+
+/// Geometric mean, for "average speedup" rows like the paper reports.
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace tagnn::bench

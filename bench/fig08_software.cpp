@@ -1,0 +1,67 @@
+// Reproduces Fig. 8 — TaGNN-S against the software systems (T-GCN,
+// window = 4):
+//  (a) execution time normalized to DGL-CPU, decomposed into memory
+//      access / computation / runtime overhead;
+//  (b) memory-access breakdown: redundant access and unnecessary
+//      computation reduced by TaGNN-S.
+#include "baselines/platform.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace tagnn;
+  bench::print_header(
+      "Fig. 8(a): TaGNN-S vs software systems (T-GCN, window 4), "
+      "normalized to DGL-CPU",
+      "paper Fig. 8(a)");
+
+  Table a({"dataset", "DGL-CPU", "PyGT", "CacheG", "ESDG", "PiPAD",
+           "TaGNN-S", "TaGNN-S mem/comp/overhead %"});
+  Table b({"dataset", "redundant access reduction %",
+           "unnecessary RNN computation reduction %"});
+
+  for (const auto& ds : bench::all_datasets()) {
+    const bench::Workload wl = bench::load("T-GCN", ds);
+    EngineOptions ro;
+    ro.store_outputs = false;
+    const EngineResult ref = ReferenceEngine(ro).run(wl.g, wl.w);
+    const OpCounts rc = ref.total_counts();
+
+    EngineOptions co;
+    co.store_outputs = false;
+    const EngineResult con = ConcurrentEngine(co).run(wl.g, wl.w);
+    const OpCounts cc = con.total_counts();
+
+    const double cpu = platforms::dgl_cpu().seconds(rc);
+    const double ts = platforms::tagnn_s_seconds(cc);
+    const PlatformModel tsp = platforms::tagnn_s();
+    const double ts_mem = tsp.memory_seconds(cc);
+    const double ts_comp = tsp.compute_seconds(cc);
+    const double ts_over = ts - (ts_mem + ts_comp);
+    a.add_row(
+        {ds, "1.000", Table::num(platforms::pygt().seconds(rc) / cpu, 3),
+         Table::num(platforms::cacheg().seconds(rc) / cpu, 3),
+         Table::num(platforms::esdg().seconds(rc) / cpu, 3),
+         Table::num(platforms::pipad().seconds(rc) / cpu, 3),
+         Table::num(ts / cpu, 3),
+         Table::num(100 * ts_mem / ts, 0) + "/" +
+             Table::num(100 * ts_comp / ts, 0) + "/" +
+             Table::num(100 * ts_over / ts, 0)});
+
+    const double red_reduction =
+        100.0 * (1.0 - cc.redundant_bytes / rc.redundant_bytes);
+    const double rnn_reduction =
+        100.0 *
+        (1.0 - static_cast<double>(cc.rnn_full) /
+                   static_cast<double>(rc.rnn_full));
+    b.add_row({ds, Table::num(red_reduction, 1),
+               Table::num(rnn_reduction, 1)});
+  }
+  a.print(std::cout);
+
+  bench::print_header(
+      "Fig. 8(b): TaGNN-S reductions vs the snapshot-by-snapshot pattern",
+      "paper Fig. 8(b) — redundant access -21.2..47.5%, unnecessary "
+      "computation -14.2..22.2% (T-GCN)");
+  b.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Fig. 9 — overall performance of DGL-CPU / PiPAD / TaGNN-S /
+// TaGNN across all models and datasets, normalized to DGL-CPU
+// (higher = faster). The paper's headline numbers: TaGNN beats DGL-CPU
+// by 415.2-612.6x (535.2x avg) and PiPAD by 62.8-146.4x (84.3x avg).
+#include "baselines/platform.hpp"
+#include "bench_common.hpp"
+#include "tagnn/accelerator.hpp"
+
+int main() {
+  using namespace tagnn;
+  bench::print_header("Fig. 9: speedup over DGL-CPU (higher is better)",
+                      "paper Fig. 9");
+  Table t({"model", "dataset", "DGL-CPU", "PiPAD", "TaGNN-S", "TaGNN",
+           "TaGNN/PiPAD"});
+  std::vector<double> vs_cpu, vs_pipad;
+  for (const auto& model : bench::all_models()) {
+    for (const auto& ds : bench::all_datasets()) {
+      const bench::Workload wl = bench::load(model, ds);
+      EngineOptions ro;
+      ro.store_outputs = false;
+      const OpCounts rc = ReferenceEngine(ro).run(wl.g, wl.w).total_counts();
+      EngineOptions co;
+      co.store_outputs = false;
+      const OpCounts cc = ConcurrentEngine(co).run(wl.g, wl.w).total_counts();
+
+      const double cpu = platforms::dgl_cpu().seconds(rc);
+      const double pipad = platforms::pipad().seconds(rc);
+      const double ts = platforms::tagnn_s_seconds(cc);
+      const AccelResult ar = TagnnAccelerator().run(wl.g, wl.w);
+
+      vs_cpu.push_back(cpu / ar.seconds);
+      vs_pipad.push_back(pipad / ar.seconds);
+      t.add_row({model, ds, "1.0", Table::num(cpu / pipad, 1),
+                 Table::num(cpu / ts, 1), Table::num(cpu / ar.seconds, 1),
+                 Table::num(pipad / ar.seconds, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nAVG TaGNN speedup: " << Table::num(bench::geomean(vs_cpu), 1)
+            << "x over DGL-CPU (paper: 535.2x, range 415.2-612.6), "
+            << Table::num(bench::geomean(vs_pipad), 1)
+            << "x over PiPAD (paper: 84.3x, range 62.8-146.4)\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig. 10 — TaGNN against the prior DGNN accelerators,
+// normalized to DGNN-Booster (higher = faster). Paper averages:
+// TaGNN is 13.5x / 10.2x / 6.5x faster than DGNN-Booster / E-DGCN /
+// Cambricon-DG.
+#include "baselines/accelerators.hpp"
+#include "bench_common.hpp"
+#include "tagnn/accelerator.hpp"
+
+int main() {
+  using namespace tagnn;
+  bench::print_header(
+      "Fig. 10: speedup over DGNN-Booster (higher is better)",
+      "paper Fig. 10");
+  Table t({"model", "dataset", "DGNN-Booster", "E-DGCN", "Cambricon-DG",
+           "TaGNN"});
+  std::vector<double> vs_boo, vs_edg, vs_cam;
+  const BaselineAccelerator booster(
+      BaselineAccelConfig::preset(BaselineAccelKind::kDgnnBooster));
+  const BaselineAccelerator edgcn(
+      BaselineAccelConfig::preset(BaselineAccelKind::kEdgcn));
+  const BaselineAccelerator cambricon(
+      BaselineAccelConfig::preset(BaselineAccelKind::kCambriconDg));
+  const TagnnAccelerator tagnn;
+
+  for (const auto& model : bench::all_models()) {
+    for (const auto& ds : bench::all_datasets()) {
+      const bench::Workload wl = bench::load(model, ds);
+      const double boo = booster.run(wl.g, wl.w).seconds;
+      const double edg = edgcn.run(wl.g, wl.w).seconds;
+      const double cam = cambricon.run(wl.g, wl.w).seconds;
+      const double ours = tagnn.run(wl.g, wl.w).seconds;
+      vs_boo.push_back(boo / ours);
+      vs_edg.push_back(edg / ours);
+      vs_cam.push_back(cam / ours);
+      t.add_row({model, ds, "1.00", Table::num(boo / edg),
+                 Table::num(boo / cam), Table::num(boo / ours)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nAVG TaGNN speedup: "
+            << Table::num(bench::geomean(vs_boo), 1)
+            << "x over DGNN-Booster (paper 13.5x), "
+            << Table::num(bench::geomean(vs_edg), 1)
+            << "x over E-DGCN (paper 10.2x), "
+            << Table::num(bench::geomean(vs_cam), 1)
+            << "x over Cambricon-DG (paper 6.5x)\n";
+  return 0;
+}

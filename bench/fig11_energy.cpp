@@ -1,0 +1,67 @@
+// Reproduces Fig. 11 — energy consumption of every solution normalized
+// to TaGNN (higher = worse). Paper averages: DGL-CPU 742.6x, PiPAD
+// 104.9x, DGNN-Booster 15.9x, E-DGCN 11.7x, Cambricon-DG 7.8x.
+#include "baselines/accelerators.hpp"
+#include "baselines/platform.hpp"
+#include "bench_common.hpp"
+#include "tagnn/accelerator.hpp"
+
+int main() {
+  using namespace tagnn;
+  bench::print_header("Fig. 11: energy normalized to TaGNN (lower is "
+                      "better; TaGNN = 1)",
+                      "paper Fig. 11");
+  Table t({"model", "dataset", "DGL-CPU", "PiPAD", "DGNN-Booster",
+           "E-DGCN", "Cambricon-DG", "TaGNN"});
+  std::vector<double> cpu_r, pipad_r, boo_r, edg_r, cam_r;
+  const BaselineAccelerator booster(
+      BaselineAccelConfig::preset(BaselineAccelKind::kDgnnBooster));
+  const BaselineAccelerator edgcn(
+      BaselineAccelConfig::preset(BaselineAccelKind::kEdgcn));
+  const BaselineAccelerator cambricon(
+      BaselineAccelConfig::preset(BaselineAccelKind::kCambriconDg));
+  const TagnnAccelerator tagnn;
+
+  for (const auto& model : bench::all_models()) {
+    for (const auto& ds : bench::all_datasets()) {
+      const bench::Workload wl = bench::load(model, ds);
+      EngineOptions ro;
+      ro.store_outputs = false;
+      const OpCounts rc = ReferenceEngine(ro).run(wl.g, wl.w).total_counts();
+
+      const AccelResult ours = tagnn.run(wl.g, wl.w);
+      const double e_tagnn = ours.energy.total();
+      const double e_cpu =
+          platforms::dgl_cpu().joules(platforms::dgl_cpu().seconds(rc));
+      const double e_pipad =
+          platforms::pipad().joules(platforms::pipad().seconds(rc));
+      const double e_boo = booster.run(wl.g, wl.w).energy.total();
+      const double e_edg = edgcn.run(wl.g, wl.w).energy.total();
+      const double e_cam = cambricon.run(wl.g, wl.w).energy.total();
+
+      cpu_r.push_back(e_cpu / e_tagnn);
+      pipad_r.push_back(e_pipad / e_tagnn);
+      boo_r.push_back(e_boo / e_tagnn);
+      edg_r.push_back(e_edg / e_tagnn);
+      cam_r.push_back(e_cam / e_tagnn);
+      t.add_row({model, ds, Table::num(e_cpu / e_tagnn, 0),
+                 Table::num(e_pipad / e_tagnn, 1),
+                 Table::num(e_boo / e_tagnn, 1),
+                 Table::num(e_edg / e_tagnn, 1),
+                 Table::num(e_cam / e_tagnn, 1), "1.0"});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nAVG energy savings of TaGNN: "
+            << Table::num(bench::geomean(cpu_r), 1)
+            << "x vs DGL-CPU (paper 742.6x, range 621.3-901.5), "
+            << Table::num(bench::geomean(pipad_r), 1)
+            << "x vs PiPAD (paper 104.9x, range 88.9-135.2),\n  "
+            << Table::num(bench::geomean(boo_r), 1)
+            << "x vs DGNN-Booster (paper 15.9x), "
+            << Table::num(bench::geomean(edg_r), 1)
+            << "x vs E-DGCN (paper 11.7x), "
+            << Table::num(bench::geomean(cam_r), 1)
+            << "x vs Cambricon-DG (paper 7.8x)\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Reproduces Fig. 14 — sensitivity studies on the T-GCN model:
+//  (a) thresholds [θ_s, θ_e] over FK: runtime + accuracy trade-off;
+//  (b) number of DCUs (paper: peaks at 16, memory-bound beyond);
+//  (c) number of snapshots per batch over FK vs the baseline
+//      accelerators (paper: optimal at 4);
+//  (d) number of MAC units (paper: levels off at 4,096).
+#include "baselines/accelerators.hpp"
+#include "bench_common.hpp"
+#include "nn/accuracy.hpp"
+#include "nn/approx.hpp"
+#include "tagnn/accelerator.hpp"
+
+namespace tagnn {
+namespace {
+
+void fig14a() {
+  bench::print_header("Fig. 14(a): sensitivity to [θ_s, θ_e] (T-GCN, FK)",
+                      "paper Fig. 14(a)");
+  const bench::Workload wl = bench::load("T-GCN", "FK");
+  const EngineResult exact =
+      run_with_approximation(wl.g, wl.w, ApproxMethod::kBaseline);
+  const AccuracyTask task = make_accuracy_task(wl.g, exact, 8, 0.584, 7);
+
+  Table t({"θ_s", "θ_e", "time / exact-mode", "accuracy %"});
+  TagnnConfig exact_cfg;
+  exact_cfg.enable_adsc = false;
+  const double exact_s =
+      TagnnAccelerator(exact_cfg).run(wl.g, wl.w).seconds;
+  for (const float ts : {-0.9f, -0.5f, 0.0f}) {
+    for (const float te : {0.5f, 0.9f, 0.995f}) {
+      TagnnConfig cfg;
+      cfg.thresholds = {ts, te};
+      const AccelResult r = TagnnAccelerator(cfg).run(wl.g, wl.w, true);
+      const double acc =
+          100.0 * evaluate_accuracy(wl.g, task, r.functional.outputs);
+      t.add_row({Table::num(ts, 2), Table::num(te, 3),
+                 Table::num(r.seconds / exact_s, 3), Table::num(acc, 1)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "(paper: accuracy averages 57.8% on FK; the wider the "
+               "interval, the faster and less accurate)\n";
+}
+
+void fig14b() {
+  bench::print_header("Fig. 14(b): sensitivity to the number of DCUs",
+                      "paper Fig. 14(b) — peaks at 16");
+  Table t({"DCUs", "time normalized to 16"});
+  const bench::Workload wl = bench::load("T-GCN", "FK");
+  TagnnConfig base;
+  const double ref = TagnnAccelerator(base).run(wl.g, wl.w).seconds;
+  for (const std::size_t d : {2u, 4u, 8u, 16u, 32u}) {
+    TagnnConfig cfg;
+    cfg.num_dcus = d;
+    const double s = TagnnAccelerator(cfg).run(wl.g, wl.w).seconds;
+    t.add_row({std::to_string(d), Table::num(s / ref, 2)});
+  }
+  t.print(std::cout);
+}
+
+void fig14c() {
+  bench::print_header(
+      "Fig. 14(c): sensitivity to the snapshots per batch (FK)",
+      "paper Fig. 14(c) — optimal at 4");
+  Table t({"snapshots/batch", "TaGNN", "Cambricon-DG", "E-DGCN",
+           "DGNN-Booster"});
+  const bench::Workload wl = bench::load("T-GCN", "FK");
+  const double boo =
+      BaselineAccelerator(
+          BaselineAccelConfig::preset(BaselineAccelKind::kDgnnBooster))
+          .run(wl.g, wl.w)
+          .seconds;
+  const double edg = BaselineAccelerator(BaselineAccelConfig::preset(
+                                             BaselineAccelKind::kEdgcn))
+                         .run(wl.g, wl.w)
+                         .seconds;
+  const double cam =
+      BaselineAccelerator(
+          BaselineAccelConfig::preset(BaselineAccelKind::kCambriconDg))
+          .run(wl.g, wl.w)
+          .seconds;
+  for (const SnapshotId k : {1u, 2u, 4u, 8u}) {
+    TagnnConfig cfg;
+    cfg.window = k;
+    const double s = TagnnAccelerator(cfg).run(wl.g, wl.w).seconds;
+    t.add_row({std::to_string(k), Table::num(boo / s, 2) + "x",
+               Table::num(boo / cam, 2) + "x", Table::num(boo / edg, 2) + "x",
+               "1.00x"});
+  }
+  t.print(std::cout);
+  std::cout << "(speedups over DGNN-Booster; baselines are "
+               "window-independent snapshot-serial designs)\n";
+}
+
+void fig14d() {
+  bench::print_header("Fig. 14(d): sensitivity to the number of MAC units",
+                      "paper Fig. 14(d) — levels off at 4,096");
+  Table t({"MACs", "time normalized to 4096"});
+  const bench::Workload wl = bench::load("T-GCN", "FK");
+  TagnnConfig base;
+  const double ref = TagnnAccelerator(base).run(wl.g, wl.w).seconds;
+  for (const std::size_t macs_per_dcu : {64u, 128u, 256u, 512u}) {
+    TagnnConfig cfg;
+    cfg.cpes_per_dcu = macs_per_dcu;
+    cfg.apes_per_dcu = macs_per_dcu / 2;
+    const double s = TagnnAccelerator(cfg).run(wl.g, wl.w).seconds;
+    t.add_row({std::to_string(macs_per_dcu * cfg.num_dcus),
+               Table::num(s / ref, 2)});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+}  // namespace tagnn
+
+int main() {
+  tagnn::fig14a();
+  tagnn::fig14b();
+  tagnn::fig14c();
+  tagnn::fig14d();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces Table 3 — FPGA resource utilisation of TaGNN on the U280
+// per DGNN model (analytic estimator; see src/tagnn/resources.hpp).
+#include "bench_common.hpp"
+#include "tagnn/resources.hpp"
+
+int main() {
+  using namespace tagnn;
+  bench::print_header("Table 3: resource utilisation on the U280",
+                      "paper Table 3");
+  Table t({"resource", "CD-GCN", "GC-LSTM", "T-GCN", "paper CD/GC/T"});
+  const TagnnConfig cfg;
+  ResourceUtilization u[3];
+  const auto models = bench::all_models();
+  for (std::size_t i = 0; i < 3; ++i) {
+    u[i] = estimate_resources(cfg, ModelConfig::preset(models[i]));
+  }
+  auto pct = [](double x) { return Table::num(100 * x, 1) + "%"; };
+  t.add_row({"DSP", pct(u[0].dsp), pct(u[1].dsp), pct(u[2].dsp),
+             "77.2/80.2/73.6"});
+  t.add_row({"LUT", pct(u[0].lut), pct(u[1].lut), pct(u[2].lut),
+             "42.6/49.5/40.1"});
+  t.add_row({"FF", pct(u[0].ff), pct(u[1].ff), pct(u[2].ff),
+             "34.9/35.2/30.4"});
+  t.add_row({"BRAM", pct(u[0].bram), pct(u[1].bram), pct(u[2].bram),
+             "62.4/69.7/59.3"});
+  t.add_row({"UltraRAM", pct(u[0].uram), pct(u[1].uram), pct(u[2].uram),
+             "82.4/89.7/80.3"});
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Dynamic link prediction (the paper's motivating GC-LSTM use case):
+// score candidate edges at snapshot t with the dot product of the final
+// features and check how well the ranking predicts the edges that exist
+// at snapshot t+1. Exact inference and the TaGNN accelerator are
+// compared — the approximation barely moves the ranking quality.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "graph/datasets.hpp"
+#include "nn/engine.hpp"
+#include "tagnn/accelerator.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace tagnn;
+
+// AUC of "edge vs non-edge" discrimination at snapshot t+1 using the
+// features computed at snapshot t.
+double link_auc(const DynamicGraph& g, const std::vector<Matrix>& outputs,
+                SnapshotId t, Rng& rng) {
+  const Matrix& h = outputs[t];
+  const Snapshot& next = g.snapshot(t + 1);
+  std::size_t wins = 0, trials = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    if (!next.present[u] || next.graph.degree(u) == 0) continue;
+    // A true neighbour and a random non-neighbour.
+    const auto nbrs = next.graph.neighbors(u);
+    const VertexId pos = nbrs[rng.next_below(nbrs.size())];
+    const auto neg = static_cast<VertexId>(rng.next_below(g.num_vertices()));
+    if (neg == u || next.graph.has_edge(u, neg)) continue;
+    // Cosine similarity: neighbours aggregate each other, so their
+    // final features point the same way regardless of magnitude.
+    const float s_pos = cosine_similarity(h.row(u), h.row(pos));
+    const float s_neg = cosine_similarity(h.row(u), h.row(neg));
+    wins += (s_pos > s_neg);
+    ++trials;
+  }
+  return trials ? static_cast<double>(wins) / static_cast<double>(trials)
+                : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "GT";
+  const DynamicGraph g = datasets::load(dataset, 0.25, 8);
+  const DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset("GC-LSTM"), g.feature_dim(), 7);
+  std::cout << "Dynamic link prediction with GC-LSTM on " << dataset << " ("
+            << g.num_vertices() << " vertices)\n";
+
+  const EngineResult exact = ReferenceEngine().run(g, w);
+  const AccelResult accel = TagnnAccelerator().run(g, w, true);
+
+  std::cout << "snapshot | AUC (exact) | AUC (TaGNN accelerated)\n";
+  for (SnapshotId t = 3; t + 1 < g.num_snapshots(); ++t) {
+    Rng r1(100 + t), r2(100 + t);
+    std::cout << "       " << t << " |       "
+              << Table::num(link_auc(g, exact.outputs, t, r1), 3)
+              << " |       "
+              << Table::num(link_auc(g, accel.functional.outputs, t, r2), 3)
+              << "\n";
+  }
+  std::cout << "\nTaGNN processed the stream in " << accel.seconds * 1e3
+            << " simulated ms (" << accel.cycles.total << " cycles), "
+            << accel.functional.rnn_counts.rnn_skip
+            << " cell updates skipped.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Streaming inference: snapshots arrive one at a time (as they would
+// from a live graph feed); windows are processed as they fill, with
+// bounded memory. Demonstrates the StreamCarry mechanism and the
+// incremental classifier side by side.
+#include <iostream>
+
+#include "graph/datasets.hpp"
+#include "graph/incremental.hpp"
+#include "nn/streaming.hpp"
+#include "tensor/ops.hpp"
+
+int main() {
+  using namespace tagnn;
+  const DynamicGraph g = datasets::load("HP", 0.25, 12);
+  const DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset("T-GCN"), g.feature_dim(), 3);
+  std::cout << "Streaming " << g.num_snapshots() << " snapshots of "
+            << g.num_vertices() << " vertices (window 4)...\n";
+
+  StreamingInference stream(w, {});
+  IncrementalClassifier inc(g, 4);
+
+  for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
+    const auto outputs = stream.push(g.snapshot(t));
+    std::cout << "t=" << t << ": buffered";
+    if (!outputs.empty()) {
+      std::cout << " -> window processed, " << outputs.size()
+                << " snapshots of final features emitted";
+    }
+    if (t + 4 <= g.num_snapshots()) {
+      const auto& cls = inc.advance(t <= g.num_snapshots() - 4
+                                        ? t
+                                        : g.num_snapshots() - 4);
+      std::cout << "  | window[" << cls.window.start << ","
+                << cls.window.end() << "): "
+                << 100.0 * cls.ratio(VertexClass::kUnaffected)
+                << "% unaffected (reclassified " << inc.last_reclassified()
+                << " vertices)";
+    }
+    std::cout << "\n";
+  }
+  const auto tail = stream.flush();
+  std::cout << "flush: " << tail.size() << " trailing snapshots\n";
+
+  // Verify the stream matches a batch run.
+  const EngineResult batch = ConcurrentEngine().run(g, w);
+  std::cout << "stream vs batch final-feature max diff: "
+            << max_abs_diff(stream.state(), batch.final_hidden)
+            << " (must be 0)\n";
+  std::cout << "total work: " << stream.total_counts().macs / 1e6
+            << " MMACs across " << stream.snapshots_processed()
+            << " snapshots\n";
+  return 0;
+}

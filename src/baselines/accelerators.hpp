@@ -1,0 +1,63 @@
+// Cost models of the prior DGNN accelerators the paper compares against
+// (Table 4 configurations):
+//   * DGNN-Booster (FPGA, 280 MHz, 4,096 MACs, 5 MB on-chip): generic
+//     multi-level-parallel DGNN dataflow, snapshot-by-snapshot, no
+//     redundancy elimination;
+//   * E-DGCN (ASIC, 1 GHz, 4,096 MACs as 8x8 PEs, 12 MB): reconfigurable
+//     PEs raise compute efficiency, still snapshot-by-snapshot;
+//   * Cambricon-DG (ASIC, 1 GHz, 4,096 MACs, 10 MB): nonlinear isolation
+//     removes redundant *aggregation* between consecutive snapshots
+//     (modelled by a window-2 concurrent run without cell skipping),
+//     full RNN everywhere.
+//
+// Functional tallies come from the real engines; time = bottleneck of
+// modelled compute and HBM service; energy via the shared EnergyModel
+// with per-design constants.
+#pragma once
+
+#include <string>
+
+#include "nn/engine.hpp"
+#include "sim/energy.hpp"
+
+namespace tagnn {
+
+enum class BaselineAccelKind : int { kDgnnBooster, kEdgcn, kCambriconDg };
+
+struct BaselineAccelConfig {
+  BaselineAccelKind kind = BaselineAccelKind::kDgnnBooster;
+  std::string name = "DGNN-Booster";
+  double clock_mhz = 280.0;
+  std::size_t macs = 4096;
+  double compute_efficiency = 0.30;  // achieved fraction of MAC peak
+  double mem_bw_gbps = 256.0;        // Table 4: all use 256 GB/s HBM2
+  double mem_efficiency = 0.45;      // irregular-access burst efficiency
+  double onchip_bytes = 5u << 20;
+  double static_watts = 10.0;
+  EnergyConfig energy{};
+
+  static BaselineAccelConfig preset(BaselineAccelKind kind);
+};
+
+struct BaselineAccelResult {
+  std::string name;
+  double seconds = 0;
+  EnergyBreakdown energy;
+  double dram_bytes = 0;
+  OpCounts counts;
+};
+
+class BaselineAccelerator {
+ public:
+  explicit BaselineAccelerator(BaselineAccelConfig cfg) : cfg_(cfg) {}
+
+  const BaselineAccelConfig& config() const { return cfg_; }
+
+  BaselineAccelResult run(const DynamicGraph& g,
+                          const DgnnWeights& weights) const;
+
+ private:
+  BaselineAccelConfig cfg_;
+};
+
+}  // namespace tagnn

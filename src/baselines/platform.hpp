@@ -1,0 +1,61 @@
+// Cost models for the software baselines (paper section 5.1):
+// DGL-CPU on a Xeon 6151, and PyGT / CacheG / ESDG / PiPAD / TaGNN-S on
+// an NVIDIA A100.
+//
+// Operation and byte tallies are *measured* from the functional engines
+// (ReferenceEngine for the snapshot-by-snapshot frameworks,
+// ConcurrentEngine for TaGNN-S); this model converts them to time via
+// achievable-throughput constants calibrated to the paper's own
+// measurements (Fig. 2(d): PiPAD SM utilisation < 22.3 %, memory access
+// 70.4 % of runtime; DGNN kernels are tiny and launch-bound, so the
+// effective FLOP rate is a small percent of peak). Energy = board power
+// x time (how the paper measures CPU/GPU energy).
+#pragma once
+
+#include <string>
+
+#include "nn/op_counts.hpp"
+
+namespace tagnn {
+
+struct PlatformModel {
+  std::string name;
+  double peak_tflops = 1.0;        // fp32 peak
+  double compute_efficiency = 0.1; // achieved fraction of peak
+  double mem_bw_gbps = 100.0;
+  double mem_efficiency = 0.2;     // achieved fraction for this workload
+  double framework_overhead = 0.3; // kernel-launch / glue fraction
+  double power_watts = 200.0;
+
+  /// Modelled runtime for the given measured tallies. `extra_overhead_s`
+  /// lets callers add measured runtime overhead (e.g. TaGNN-S's
+  /// classification cost scaled to the platform).
+  double seconds(const OpCounts& counts, double extra_overhead_s = 0) const;
+
+  /// Compute-only / memory-only components (for breakdown figures).
+  double compute_seconds(const OpCounts& counts) const;
+  double memory_seconds(const OpCounts& counts) const;
+
+  double joules(double secs) const { return power_watts * secs; }
+};
+
+namespace platforms {
+
+PlatformModel dgl_cpu();  // Intel Xeon 6151, DGL v2.4
+PlatformModel pygt();     // PyTorch-Geometric-Temporal on A100
+PlatformModel cacheg();   // CacheG on A100
+PlatformModel esdg();     // ESDG on A100
+PlatformModel pipad();    // PiPAD on A100 (best software baseline)
+PlatformModel tagnn_s();  // our approach in software on the same A100
+
+/// Fraction of TaGNN-S runtime spent in runtime overhead (dynamic
+/// classification, subgraph capture, O-CSR assembly on the GPU). The
+/// paper measures 40-62 % (Fig. 8(a)); we model the midpoint.
+inline constexpr double kTagnnSOverheadFraction = 0.55;
+
+/// Total TaGNN-S runtime: platform core time inflated by the overhead.
+double tagnn_s_seconds(const OpCounts& counts);
+
+}  // namespace platforms
+
+}  // namespace tagnn

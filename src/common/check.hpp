@@ -1,0 +1,35 @@
+// Lightweight runtime checking. TAGNN_CHECK is always on (these are
+// API-contract checks, not asserts); failures throw std::logic_error so
+// tests can observe them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tagnn::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "TAGNN_CHECK failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace tagnn::detail
+
+#define TAGNN_CHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::tagnn::detail::check_failed(#expr, __FILE__, __LINE__, {});       \
+  } while (0)
+
+#define TAGNN_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::tagnn::detail::check_failed(#expr, __FILE__, __LINE__, os_.str());\
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,29 @@
+// Plain-text table printer used by every bench binary to emit the
+// paper-style rows (figures are printed as series tables).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tagnn {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (helper for callers).
+  static std::string num(double v, int precision = 2);
+
+  /// Renders with aligned columns and a separator under the header.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tagnn

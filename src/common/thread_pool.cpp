@@ -1,0 +1,121 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace tagnn {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The caller participates in parallel_for, so spawn threads-1 workers.
+  workers_.reserve(threads > 0 ? threads - 1 : 0);
+  for (std::size_t i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+// Lifetime protocol for the stack-allocated Task:
+//  * every access to Task fields happens under mu_ (fn execution aside);
+//  * task.pending counts chunks that are claimed-but-unfinished plus
+//    chunks not yet claimed, so it cannot reach 0 while any thread is
+//    between claiming a chunk and recording its completion;
+//  * whoever decrements pending to 0 clears task_ (under mu_) and only
+//    then signals cv_done_, so parallel_for cannot destroy the Task
+//    while any thread still holds a reference, and sleeping workers can
+//    never observe a dangling task_.
+//
+// Claims one chunk of *task (caller must hold `lock` on mu_), runs it
+// unlocked, records completion. Returns false if no chunk was available.
+bool ThreadPool::run_one_chunk(Task& task, std::unique_lock<std::mutex>& lock) {
+  if (task.next >= task.end) return false;
+  const std::size_t b = task.next;
+  const std::size_t e = std::min(task.end, b + task.chunk);
+  task.next = e;
+  const auto* fn = task.fn;
+  lock.unlock();
+
+  std::exception_ptr error;
+  try {
+    (*fn)(b, e);
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  lock.lock();
+  if (error && !task.error) task.error = error;
+  if (--task.pending == 0) {
+    if (task_ == &task) task_ = nullptr;
+    cv_done_.notify_all();
+  }
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] {
+      return stop_ || (task_ != nullptr && task_->next < task_->end);
+    });
+    if (stop_) return;
+    Task& task = *task_;
+    while (run_one_chunk(task, lock)) {
+      // After the final chunk's completion was recorded the Task may be
+      // destroyed by parallel_for; run_one_chunk's claim-before-run
+      // protocol guarantees we only loop while pending > 0 kept it
+      // alive — the next iteration re-checks under the lock.
+      if (task.next >= task.end) break;
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = (workers_.size() + 1) * 4;
+  Task task;
+  task.fn = &fn;
+  task.begin = begin;
+  task.end = end;
+  task.chunk = std::max<std::size_t>(1, (n + parts - 1) / parts);
+  task.next = begin;
+  task.pending = (n + task.chunk - 1) / task.chunk;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &task;
+  cv_work_.notify_all();
+  while (run_one_chunk(task, lock)) {
+  }
+  cv_done_.wait(lock, [&] { return task.pending == 0; });
+  if (task_ == &task) task_ = nullptr;
+  lock.unlock();
+  if (task.error) std::rethrow_exception(task.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t serial_threshold) {
+  if (end - begin <= serial_threshold || ThreadPool::global().size() == 0) {
+    if (begin < end) fn(begin, end);
+    return;
+  }
+  ThreadPool::global().parallel_for(begin, end, fn);
+}
+
+}  // namespace tagnn

@@ -1,0 +1,61 @@
+// A minimal work-sharing thread pool plus parallel_for, used by the
+// tensor kernels and the dataset generators. Mirrors the OpenMP
+// "parallel for schedule(static)" idiom without an OpenMP dependency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tagnn {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split statically
+  /// across workers (the calling thread participates). Blocks until all
+  /// chunks finish. Exceptions from fn propagate to the caller.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide pool (lazily created, sized to the machine).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0, end = 0, chunk = 0;
+    std::size_t next = 0;        // next chunk start to claim
+    std::size_t pending = 0;     // chunks not yet completed
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  bool run_one_chunk(Task& task, std::unique_lock<std::mutex>& lock);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Task* task_ = nullptr;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool; serial when the range is
+/// small enough that fork/join overhead would dominate.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t serial_threshold = 2048);
+
+}  // namespace tagnn

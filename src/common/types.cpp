@@ -1,0 +1,17 @@
+#include "common/types.hpp"
+
+namespace tagnn {
+
+const char* to_string(VertexClass c) {
+  switch (c) {
+    case VertexClass::kUnaffected:
+      return "unaffected";
+    case VertexClass::kStable:
+      return "stable";
+    case VertexClass::kAffected:
+      return "affected";
+  }
+  return "?";
+}
+
+}  // namespace tagnn

@@ -1,0 +1,36 @@
+// Fundamental scalar types shared by every TaGNN module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tagnn {
+
+/// Vertex identifier within a snapshot (dense, zero-based).
+using VertexId = std::uint32_t;
+/// Edge index into a CSR adjacency array.
+using EdgeId = std::uint64_t;
+/// Snapshot index within a dynamic graph (the paper's timestamp t).
+using SnapshotId = std::uint32_t;
+/// Simulated hardware clock cycles.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// Classification of a vertex over a sliding window (paper section 3.1).
+enum class VertexClass : std::uint8_t {
+  /// Feature, neighbour list, and all neighbours' features identical
+  /// across every snapshot in the window. Loaded and computed once.
+  kUnaffected = 0,
+  /// Own feature unchanged while its neighbourhood changes; acts as a
+  /// DFS root delimiting the affected subgraph ("cut vertex").
+  kStable = 1,
+  /// Feature or incident topology changed somewhere in the window.
+  kAffected = 2,
+};
+
+/// Human-readable name for a VertexClass (for logs and bench tables).
+const char* to_string(VertexClass c);
+
+}  // namespace tagnn

@@ -1,0 +1,120 @@
+#include "graph/classify.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace tagnn {
+
+std::size_t WindowClassification::count(VertexClass c) const {
+  return static_cast<std::size_t>(
+      std::count(clazz.begin(), clazz.end(), c));
+}
+
+double WindowClassification::ratio(VertexClass c) const {
+  if (clazz.empty()) return 0.0;
+  return static_cast<double>(count(c)) / static_cast<double>(clazz.size());
+}
+
+WindowClassification classify_window(const DynamicGraph& g, Window window) {
+  TAGNN_CHECK(window.length >= 1);
+  TAGNN_CHECK(window.end() <= g.num_snapshots());
+  const VertexId n = g.num_vertices();
+  const Snapshot& first = g.snapshot(window.start);
+
+  WindowClassification cls;
+  cls.window = window;
+  cls.clazz.assign(n, VertexClass::kUnaffected);
+
+  // Pass 1: per-vertex feature/topology stability vs the first snapshot.
+  // Byte-wide scratch: parallel chunks must not share vector<bool> words.
+  std::vector<unsigned char> feat_stable(n, 1), topo_stable(n, 1);
+  parallel_for(0, n, [&](std::size_t v0, std::size_t v1) {
+    for (std::size_t vi = v0; vi < v1; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      bool feat_same = true;
+      bool topo_same = true;
+      bool present_all = first.present[v];
+      const auto f0 = first.features.row(v);
+      for (SnapshotId t = window.start + 1; t < window.end(); ++t) {
+        const Snapshot& s = g.snapshot(t);
+        present_all = present_all && s.present[v];
+        if (feat_same) {
+          const auto ft = s.features.row(v);
+          feat_same = std::equal(f0.begin(), f0.end(), ft.begin());
+        }
+        if (topo_same) topo_same = first.graph.same_neighbors(v, s.graph);
+        if (!feat_same && !topo_same) break;
+      }
+      feat_stable[v] = (feat_same && present_all) ? 1 : 0;
+      topo_stable[v] = topo_same ? 1 : 0;
+    }
+  });
+  cls.feature_stable.assign(feat_stable.begin(), feat_stable.end());
+  cls.topo_stable.assign(topo_stable.begin(), topo_stable.end());
+
+  // Pass 2: classify. Unaffected additionally needs every neighbour
+  // (identical across snapshots because topo_stable) feature-stable.
+  parallel_for(0, n, [&](std::size_t v0, std::size_t v1) {
+    for (std::size_t vi = v0; vi < v1; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      if (!cls.feature_stable[v]) {
+        cls.clazz[v] = VertexClass::kAffected;
+        continue;
+      }
+      bool unaffected = cls.topo_stable[v];
+      if (unaffected) {
+        for (VertexId u : first.graph.neighbors(v)) {
+          if (!cls.feature_stable[u]) {
+            unaffected = false;
+            break;
+          }
+        }
+      }
+      cls.clazz[v] =
+          unaffected ? VertexClass::kUnaffected : VertexClass::kStable;
+    }
+  });
+  return cls;
+}
+
+std::vector<std::vector<bool>> unchanged_per_layer(
+    const DynamicGraph& g, Window window, const WindowClassification& cls,
+    std::size_t layers) {
+  TAGNN_CHECK(layers >= 1);
+  const VertexId n = g.num_vertices();
+
+  std::vector<std::vector<bool>> unchanged(layers,
+                                           std::vector<bool>(n, false));
+  // Layer 0 output unchanged == unaffected (feature + 1-hop inputs fixed).
+  for (VertexId v = 0; v < n; ++v) {
+    unchanged[0][v] = cls.is_unaffected(v);
+  }
+  // Deeper layers: output unchanged iff topology fixed and the whole
+  // closed neighbourhood was unchanged at the previous layer. Parallel
+  // chunks write a byte-wide scratch (vector<bool> packs bits).
+  std::vector<unsigned char> scratch(n, 0);
+  for (std::size_t l = 1; l < layers; ++l) {
+    const std::vector<bool>& prev = unchanged[l - 1];
+    std::fill(scratch.begin(), scratch.end(), 0);
+    parallel_for(0, n, [&](std::size_t v0, std::size_t v1) {
+      for (std::size_t vi = v0; vi < v1; ++vi) {
+        const auto v = static_cast<VertexId>(vi);
+        if (!prev[v] || !cls.topo_stable[v]) continue;
+        bool ok = true;
+        for (VertexId u : g.snapshot(window.start).graph.neighbors(v)) {
+          if (!prev[u]) {
+            ok = false;
+            break;
+          }
+        }
+        scratch[v] = ok ? 1 : 0;
+      }
+    });
+    unchanged[l].assign(scratch.begin(), scratch.end());
+  }
+  return unchanged;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,51 @@
+// Vertex classification over a sliding window (paper section 3.1).
+//
+// Over a window of K snapshots every vertex falls into one class:
+//  * unaffected — own feature, neighbour list, and every neighbour's
+//    feature identical across the window (loaded/computed once);
+//  * stable     — own feature unchanged while its neighbourhood (or a
+//    neighbour's feature) changes; DFS roots for subgraph extraction;
+//  * affected   — own feature changed, or present/absent toggled.
+//
+// The classification also exposes the per-GNN-layer "unchanged" sets:
+// a vertex's layer-l output is identical across the window only if its
+// layer-(l-1) input and its whole 1-hop neighbourhood's layer-(l-1)
+// outputs are unchanged, so the unchanged set shrinks by one hop per
+// layer. The multi-layer engines rely on this to stay exact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace tagnn {
+
+struct WindowClassification {
+  Window window;
+  /// Per-vertex class (size n).
+  std::vector<VertexClass> clazz;
+  /// Own feature row identical and present in every snapshot.
+  std::vector<bool> feature_stable;
+  /// Neighbour list identical in every snapshot.
+  std::vector<bool> topo_stable;
+
+  std::size_t count(VertexClass c) const;
+  double ratio(VertexClass c) const;
+
+  bool is_unaffected(VertexId v) const {
+    return clazz[v] == VertexClass::kUnaffected;
+  }
+};
+
+/// Classifies all vertices of `g` over `window`.
+WindowClassification classify_window(const DynamicGraph& g, Window window);
+
+/// unchanged[l][v] — true iff the layer-l GNN *output* of v is identical
+/// across the window (l in [0, layers)). unchanged[0] corresponds to the
+/// first GNN layer; deeper layers shrink by one hop each.
+std::vector<std::vector<bool>> unchanged_per_layer(
+    const DynamicGraph& g, Window window, const WindowClassification& cls,
+    std::size_t layers);
+
+}  // namespace tagnn

@@ -1,0 +1,56 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tagnn {
+
+CsrGraph CsrGraph::from_edges(
+    VertexId num_vertices, std::vector<std::pair<VertexId, VertexId>> edges) {
+  for (const auto& [u, v] : edges) {
+    TAGNN_CHECK_MSG(u < num_vertices && v < num_vertices,
+                    "edge (" << u << ',' << v << ") out of range "
+                             << num_vertices);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  CsrGraph g;
+  g.offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const auto& [u, v] : edges) g.offsets_[u + 1]++;
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i)
+    g.offsets_[i] += g.offsets_[i - 1];
+  g.neighbors_.resize(edges.size());
+  std::vector<EdgeId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) g.neighbors_[cursor[u]++] = v;
+  return g;
+}
+
+CsrGraph CsrGraph::from_csr(std::vector<EdgeId> offsets,
+                            std::vector<VertexId> neighbors) {
+  TAGNN_CHECK(!offsets.empty());
+  TAGNN_CHECK(offsets.front() == 0 && offsets.back() == neighbors.size());
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    TAGNN_CHECK(offsets[i] <= offsets[i + 1]);
+    TAGNN_CHECK(std::is_sorted(neighbors.begin() + offsets[i],
+                               neighbors.begin() + offsets[i + 1]));
+  }
+  CsrGraph g;
+  g.offsets_ = std::move(offsets);
+  g.neighbors_ = std::move(neighbors);
+  return g;
+}
+
+bool CsrGraph::has_edge(VertexId u, VertexId v) const {
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+bool CsrGraph::same_neighbors(VertexId v, const CsrGraph& other) const {
+  const auto a = neighbors(v);
+  const auto b = other.neighbors(v);
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace tagnn

@@ -1,0 +1,63 @@
+// Compressed Sparse Row adjacency for one graph snapshot.
+// Neighbour lists are kept sorted so snapshots can be diffed and edges
+// membership-tested in O(log deg).
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tagnn {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds from an (unsorted, possibly duplicated) edge list. Duplicate
+  /// edges are collapsed. Edges are directed; callers add both
+  /// directions for undirected graphs.
+  static CsrGraph from_edges(VertexId num_vertices,
+                             std::vector<std::pair<VertexId, VertexId>> edges);
+
+  /// Builds directly from CSR arrays (offsets.size() == n + 1, each
+  /// neighbour run sorted ascending).
+  static CsrGraph from_csr(std::vector<EdgeId> offsets,
+                           std::vector<VertexId> neighbors);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeId num_edges() const { return neighbors_.size(); }
+
+  std::size_t degree(VertexId v) const {
+    return static_cast<std::size_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return {neighbors_.data() + offsets_[v], degree(v)};
+  }
+
+  /// O(log deg) membership test.
+  bool has_edge(VertexId u, VertexId v) const;
+
+  std::span<const EdgeId> offsets() const { return offsets_; }
+  std::span<const VertexId> neighbor_array() const { return neighbors_; }
+
+  /// Returns true iff the neighbour list of v is identical in `other`.
+  bool same_neighbors(VertexId v, const CsrGraph& other) const;
+
+  /// Storage footprint in bytes (offsets + neighbour array), for the
+  /// format-comparison experiments.
+  std::size_t bytes() const {
+    return offsets_.size() * sizeof(EdgeId) +
+           neighbors_.size() * sizeof(VertexId);
+  }
+
+ private:
+  std::vector<EdgeId> offsets_;      // n + 1 entries
+  std::vector<VertexId> neighbors_;  // sorted within each row
+};
+
+}  // namespace tagnn

@@ -1,0 +1,75 @@
+#include "graph/datasets.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tagnn::datasets {
+namespace {
+
+struct Preset {
+  const char* name;
+  VertexId vertices;
+  std::size_t edges;
+  std::size_t dim;
+  double edge_churn;
+  double feature_churn;
+  double vertex_churn;
+  std::uint64_t seed;
+};
+
+// Churn rates differ per dataset so the Fig. 3(a) bands spread out the
+// way the paper's five graphs do (HP most stable, FK most dynamic).
+// Average degree = paper / 4 and feature dim = paper / 4, so the
+// feature-bytes : structure-bytes ratio per vertex matches the paper's
+// datasets (features dominate, as they do at dim 162-500).
+// Edge churn is set so the unaffected-vertex ratio across 3/4 snapshots
+// lands in the paper's Fig. 3(a) bands (27–45 % / 10–24 %), HP most
+// stable and FK most dynamic; feature churn stays low so the affected
+// (feature-changed) set — and hence O-CSR's per-snapshot feature rows —
+// remains the small minority the paper exploits.
+constexpr Preset kPresets[] = {
+    {"HP", 3511, 48000, 43, 0.045, 0.004, 0.0005, 101},
+    {"GT", 1850, 15000, 62, 0.085, 0.006, 0.0010, 102},
+    {"ML", 2498, 62000, 125, 0.035, 0.006, 0.0010, 103},
+    {"EP", 13691, 54000, 55, 0.140, 0.008, 0.0015, 104},
+    {"FK", 35983, 130000, 40, 0.190, 0.010, 0.0020, 105},
+};
+
+const Preset& find(const std::string& name) {
+  for (const auto& p : kPresets) {
+    if (name == p.name) return p;
+  }
+  TAGNN_CHECK_MSG(false, "unknown dataset '" << name
+                                             << "' (expected HP/GT/ML/EP/FK)");
+}
+
+}  // namespace
+
+std::vector<std::string> names() { return {"HP", "GT", "ML", "EP", "FK"}; }
+
+GeneratorConfig config(const std::string& name, double scale,
+                       std::size_t num_snapshots) {
+  TAGNN_CHECK(scale > 0.0 && scale <= 1.0);
+  const Preset& p = find(name);
+  GeneratorConfig cfg;
+  cfg.name = p.name;
+  cfg.num_vertices = std::max<VertexId>(
+      16, static_cast<VertexId>(static_cast<double>(p.vertices) * scale));
+  cfg.target_edges = std::max<std::size_t>(
+      32, static_cast<std::size_t>(static_cast<double>(p.edges) * scale));
+  cfg.feature_dim = p.dim;
+  cfg.num_snapshots = num_snapshots;
+  cfg.edge_churn = p.edge_churn;
+  cfg.feature_churn = p.feature_churn;
+  cfg.vertex_churn = p.vertex_churn;
+  cfg.seed = p.seed;
+  return cfg;
+}
+
+DynamicGraph load(const std::string& name, double scale,
+                  std::size_t num_snapshots) {
+  return generate_dynamic_graph(config(name, scale, num_snapshots));
+}
+
+}  // namespace tagnn::datasets

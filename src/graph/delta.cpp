@@ -1,0 +1,43 @@
+#include "graph/delta.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tagnn {
+
+SnapshotDelta diff_snapshots(const Snapshot& prev, const Snapshot& next) {
+  TAGNN_CHECK(prev.num_vertices() == next.num_vertices());
+  TAGNN_CHECK(prev.feature_dim() == next.feature_dim());
+  const VertexId n = prev.num_vertices();
+
+  SnapshotDelta d;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!prev.present[v] && next.present[v]) d.appeared.push_back(v);
+    if (prev.present[v] && !next.present[v]) d.disappeared.push_back(v);
+
+    const auto a = prev.graph.neighbors(v);
+    const auto b = next.graph.neighbors(v);
+    // Merge-walk the two sorted runs.
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+      if (j == b.size() || (i < a.size() && a[i] < b[j])) {
+        d.removed_edges.emplace_back(v, a[i++]);
+      } else if (i == a.size() || b[j] < a[i]) {
+        d.added_edges.emplace_back(v, b[j++]);
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+
+    const auto fa = prev.features.row(v);
+    const auto fb = next.features.row(v);
+    if (!std::equal(fa.begin(), fa.end(), fb.begin())) {
+      d.feature_changed.push_back(v);
+    }
+  }
+  return d;
+}
+
+}  // namespace tagnn

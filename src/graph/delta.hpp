@@ -1,0 +1,28 @@
+// Structural + feature difference between two consecutive snapshots.
+// Used by the PMA/streaming formats and by the Cambricon-DG baseline
+// model (which operates on graph deltas).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/snapshot.hpp"
+
+namespace tagnn {
+
+struct SnapshotDelta {
+  std::vector<std::pair<VertexId, VertexId>> added_edges;
+  std::vector<std::pair<VertexId, VertexId>> removed_edges;
+  std::vector<VertexId> feature_changed;  // vertices with mutated X rows
+  std::vector<VertexId> appeared;         // absent -> present
+  std::vector<VertexId> disappeared;      // present -> absent
+
+  std::size_t total_edge_changes() const {
+    return added_edges.size() + removed_edges.size();
+  }
+};
+
+/// Computes the delta taking `prev` to `next`.
+SnapshotDelta diff_snapshots(const Snapshot& prev, const Snapshot& next);
+
+}  // namespace tagnn

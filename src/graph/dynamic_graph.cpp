@@ -1,0 +1,27 @@
+#include "graph/dynamic_graph.hpp"
+
+namespace tagnn {
+
+DynamicGraph::DynamicGraph(std::string name, std::vector<Snapshot> snapshots)
+    : name_(std::move(name)), snapshots_(std::move(snapshots)) {
+  TAGNN_CHECK(!snapshots_.empty());
+  const VertexId n = snapshots_.front().num_vertices();
+  const std::size_t d = snapshots_.front().feature_dim();
+  for (const auto& s : snapshots_) {
+    TAGNN_CHECK_MSG(s.num_vertices() == n && s.feature_dim() == d,
+                    "snapshot shape mismatch in dynamic graph " << name_);
+  }
+}
+
+double DynamicGraph::avg_edges() const {
+  if (snapshots_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : snapshots_) sum += static_cast<double>(s.graph.num_edges());
+  return sum / static_cast<double>(snapshots_.size());
+}
+
+void DynamicGraph::validate() const {
+  for (const auto& s : snapshots_) s.validate();
+}
+
+}  // namespace tagnn

@@ -1,0 +1,51 @@
+// A dynamic graph G = {G_1 ... G_T} (paper section 2.1) plus the
+// sliding-window view used by multi-snapshot execution.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/snapshot.hpp"
+
+namespace tagnn {
+
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+  DynamicGraph(std::string name, std::vector<Snapshot> snapshots);
+
+  const std::string& name() const { return name_; }
+  std::size_t num_snapshots() const { return snapshots_.size(); }
+  VertexId num_vertices() const {
+    return snapshots_.empty() ? 0 : snapshots_.front().num_vertices();
+  }
+  std::size_t feature_dim() const {
+    return snapshots_.empty() ? 0 : snapshots_.front().feature_dim();
+  }
+
+  const Snapshot& snapshot(SnapshotId t) const {
+    TAGNN_CHECK(t < snapshots_.size());
+    return snapshots_[t];
+  }
+
+  /// Average edges per snapshot (reporting only).
+  double avg_edges() const;
+
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Snapshot> snapshots_;
+};
+
+/// A half-open range [start, start + length) of snapshot indices — the
+/// paper's sliding window / batch of snapshots.
+struct Window {
+  SnapshotId start = 0;
+  SnapshotId length = 0;
+
+  SnapshotId end() const { return start + length; }
+  bool contains(SnapshotId t) const { return t >= start && t < end(); }
+};
+
+}  // namespace tagnn

@@ -1,0 +1,201 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace tagnn {
+namespace {
+
+// Mutable adjacency used while evolving the graph between snapshots.
+// Undirected: every edge is mirrored.
+class MutableGraph {
+ public:
+  explicit MutableGraph(VertexId n) : adj_(n) {}
+
+  bool add_edge(VertexId u, VertexId v) {
+    if (u == v) return false;
+    if (!adj_[u].insert(v).second) return false;
+    adj_[v].insert(u);
+    return true;
+  }
+
+  bool remove_edge(VertexId u, VertexId v) {
+    if (adj_[u].erase(v) == 0) return false;
+    adj_[v].erase(u);
+    return true;
+  }
+
+  void isolate(VertexId v) {
+    for (VertexId u : adj_[v]) adj_[u].erase(v);
+    adj_[v].clear();
+  }
+
+  const std::set<VertexId>& neighbors(VertexId v) const { return adj_[v]; }
+
+  CsrGraph to_csr() const {
+    std::vector<EdgeId> offsets(adj_.size() + 1, 0);
+    for (std::size_t v = 0; v < adj_.size(); ++v)
+      offsets[v + 1] = offsets[v] + adj_[v].size();
+    std::vector<VertexId> nbrs;
+    nbrs.reserve(offsets.back());
+    for (const auto& s : adj_) nbrs.insert(nbrs.end(), s.begin(), s.end());
+    return CsrGraph::from_csr(std::move(offsets), std::move(nbrs));
+  }
+
+ private:
+  std::vector<std::set<VertexId>> adj_;
+};
+
+// Power-law endpoint sampler (Chung–Lu weights w_v = (v+1)^-a, shuffled
+// so high-degree vertices are scattered across the id space).
+class EndpointSampler {
+ public:
+  EndpointSampler(VertexId n, double exponent, Rng& rng) : perm_(n) {
+    const double a = 1.0 / (exponent - 1.0);
+    cum_.resize(n);
+    double sum = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      sum += std::pow(static_cast<double>(v) + 1.0, -a);
+      cum_[v] = sum;
+    }
+    for (VertexId v = 0; v < n; ++v) perm_[v] = v;
+    for (VertexId v = n; v > 1; --v) {
+      const auto j = static_cast<VertexId>(rng.next_below(v));
+      std::swap(perm_[v - 1], perm_[j]);
+    }
+  }
+
+  VertexId sample(Rng& rng) const {
+    const double x = rng.next_double() * cum_.back();
+    const auto it = std::lower_bound(cum_.begin(), cum_.end(), x);
+    const auto idx =
+        static_cast<std::size_t>(std::distance(cum_.begin(), it));
+    return perm_[std::min(idx, perm_.size() - 1)];
+  }
+
+ private:
+  std::vector<double> cum_;
+  std::vector<VertexId> perm_;
+};
+
+void redraw_feature_row(Matrix& features, VertexId v, Rng& rng) {
+  for (auto& x : features.row(v)) x = rng.normal();
+}
+
+}  // namespace
+
+DynamicGraph generate_dynamic_graph(const GeneratorConfig& cfg) {
+  TAGNN_CHECK(cfg.num_vertices > 1);
+  TAGNN_CHECK(cfg.num_snapshots >= 1);
+  TAGNN_CHECK(cfg.degree_exponent > 1.0);
+
+  Rng rng(cfg.seed);
+  const VertexId n = cfg.num_vertices;
+  EndpointSampler sampler(n, cfg.degree_exponent, rng);
+
+  MutableGraph g(n);
+  std::vector<bool> present(n, true);
+
+  // Base graph: sample undirected edges until the directed-edge target
+  // is met (each undirected edge counts twice). Bounded retries per
+  // edge keep the loop finite on dense configs.
+  const std::size_t undirected_target = cfg.target_edges / 2;
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = undirected_target * 20 + 1000;
+  while (added < undirected_target && attempts < max_attempts) {
+    ++attempts;
+    const VertexId u = sampler.sample(rng);
+    const VertexId v = sampler.sample(rng);
+    if (g.add_edge(u, v)) ++added;
+  }
+
+  Matrix features(n, cfg.feature_dim);
+  for (VertexId v = 0; v < n; ++v) redraw_feature_row(features, v, rng);
+
+  std::vector<Snapshot> snaps;
+  snaps.reserve(cfg.num_snapshots);
+
+  auto emit_snapshot = [&] {
+    Snapshot s;
+    s.graph = g.to_csr();
+    s.features = features;
+    s.present = present;
+    // Zero the feature rows of absent vertices so "absent" is visible in
+    // the data itself, not only in the bitmap.
+    for (VertexId v = 0; v < n; ++v) {
+      if (!present[v]) {
+        for (auto& x : s.features.row(v)) x = 0.0f;
+      }
+    }
+    snaps.push_back(std::move(s));
+  };
+
+  emit_snapshot();
+
+  const auto n_sz = static_cast<std::size_t>(n);
+  for (std::size_t t = 1; t < cfg.num_snapshots; ++t) {
+    // 1. Edge churn: rewire the neighbourhood of a few vertices.
+    const auto churn_count =
+        static_cast<std::size_t>(cfg.edge_churn * static_cast<double>(n_sz));
+    for (std::size_t i = 0; i < churn_count; ++i) {
+      const auto v = static_cast<VertexId>(rng.next_below(n));
+      if (!present[v]) continue;
+      // Remove roughly half the incident edges...
+      std::vector<VertexId> nbrs(g.neighbors(v).begin(),
+                                 g.neighbors(v).end());
+      std::size_t removed = 0;
+      for (VertexId u : nbrs) {
+        if (rng.chance(0.5)) {
+          g.remove_edge(v, u);
+          ++removed;
+        }
+      }
+      // ...and add about as many fresh ones.
+      for (std::size_t r = 0; r < removed + 1; ++r) {
+        const VertexId u = sampler.sample(rng);
+        if (present[u]) g.add_edge(v, u);
+      }
+    }
+
+    // 2. Vertex churn: toggle presence.
+    const auto vc =
+        static_cast<std::size_t>(cfg.vertex_churn * static_cast<double>(n_sz));
+    for (std::size_t i = 0; i < vc; ++i) {
+      const auto v = static_cast<VertexId>(rng.next_below(n));
+      if (present[v]) {
+        g.isolate(v);
+        present[v] = false;
+      } else {
+        present[v] = true;
+        redraw_feature_row(features, v, rng);
+        // Re-attach with a handful of edges.
+        for (int r = 0; r < 4; ++r) {
+          const VertexId u = sampler.sample(rng);
+          if (present[u]) g.add_edge(v, u);
+        }
+      }
+    }
+
+    // 3. Feature churn.
+    const auto fc = static_cast<std::size_t>(cfg.feature_churn *
+                                             static_cast<double>(n_sz));
+    for (std::size_t i = 0; i < fc; ++i) {
+      const auto v = static_cast<VertexId>(rng.next_below(n));
+      if (present[v]) redraw_feature_row(features, v, rng);
+    }
+
+    emit_snapshot();
+  }
+
+  DynamicGraph dg(cfg.name, std::move(snaps));
+  return dg;
+}
+
+}  // namespace tagnn

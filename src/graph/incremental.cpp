@@ -1,0 +1,177 @@
+#include "graph/incremental.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tagnn {
+
+IncrementalClassifier::IncrementalClassifier(const DynamicGraph& g,
+                                             SnapshotId window_len)
+    : g_(g), k_(window_len) {
+  TAGNN_CHECK(k_ >= 1);
+  TAGNN_CHECK(k_ <= g_.num_snapshots());
+  const VertexId n = g_.num_vertices();
+  transitions_.resize(g_.num_snapshots());
+  absent_.resize(g_.num_snapshots());
+  feat_cnt_.assign(n, 0);
+  topo_cnt_.assign(n, 0);
+  absent_cnt_.assign(n, 0);
+  cls_.clazz.assign(n, VertexClass::kUnaffected);
+  cls_.feature_stable.assign(n, true);
+  cls_.topo_stable.assign(n, true);
+}
+
+const IncrementalClassifier::Transition& IncrementalClassifier::transition(
+    SnapshotId t) {
+  TAGNN_CHECK(t + 1 < g_.num_snapshots());
+  auto& slot = transitions_[t];
+  if (!slot.has_value()) {
+    Transition tr;
+    const Snapshot& a = g_.snapshot(t);
+    const Snapshot& b = g_.snapshot(t + 1);
+    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+      const auto fa = a.features.row(v);
+      const auto fb = b.features.row(v);
+      if (!std::equal(fa.begin(), fa.end(), fb.begin())) {
+        tr.feat_changed.push_back(v);
+      }
+      if (!a.graph.same_neighbors(v, b.graph)) {
+        tr.topo_changed.push_back(v);
+      }
+    }
+    slot = std::move(tr);
+  }
+  return *slot;
+}
+
+const std::vector<VertexId>& IncrementalClassifier::absent_at(SnapshotId t) {
+  auto& slot = absent_[t];
+  if (!slot.has_value()) {
+    std::vector<VertexId> a;
+    const Snapshot& s = g_.snapshot(t);
+    for (VertexId v = 0; v < g_.num_vertices(); ++v) {
+      if (!s.present[v]) a.push_back(v);
+    }
+    slot = std::move(a);
+  }
+  return *slot;
+}
+
+void IncrementalClassifier::apply_transition(const Transition& tr, int sign,
+                                             std::vector<VertexId>& dirty) {
+  for (VertexId v : tr.feat_changed) {
+    feat_cnt_[v] = static_cast<std::uint16_t>(feat_cnt_[v] + sign);
+    dirty.push_back(v);
+  }
+  for (VertexId v : tr.topo_changed) {
+    topo_cnt_[v] = static_cast<std::uint16_t>(topo_cnt_[v] + sign);
+    dirty.push_back(v);
+  }
+}
+
+void IncrementalClassifier::apply_absent(SnapshotId t, int sign,
+                                         std::vector<VertexId>& dirty) {
+  for (VertexId v : absent_at(t)) {
+    absent_cnt_[v] = static_cast<std::uint16_t>(absent_cnt_[v] + sign);
+    dirty.push_back(v);
+  }
+}
+
+void IncrementalClassifier::classify_vertex(VertexId v) {
+  const bool feature_stable = feat_cnt_[v] == 0 && absent_cnt_[v] == 0;
+  const bool topo_stable = topo_cnt_[v] == 0;
+  cls_.feature_stable[v] = feature_stable;
+  cls_.topo_stable[v] = topo_stable;
+  if (!feature_stable) {
+    cls_.clazz[v] = VertexClass::kAffected;
+    return;
+  }
+  bool unaffected = topo_stable;
+  if (unaffected) {
+    for (VertexId u : g_.snapshot(start_).graph.neighbors(v)) {
+      if (feat_cnt_[u] != 0 || absent_cnt_[u] != 0) {
+        unaffected = false;
+        break;
+      }
+    }
+  }
+  cls_.clazz[v] = unaffected ? VertexClass::kUnaffected : VertexClass::kStable;
+}
+
+void IncrementalClassifier::reclassify(const std::vector<VertexId>& dirty) {
+  // A vertex's class depends on its own counters and its (window-start)
+  // neighbours' feature/absence counters, so dirty vertices' neighbours
+  // must be revisited too. Neighbour lists of topo-stable vertices are
+  // identical in every snapshot of the window; topo-dirty vertices are
+  // in the dirty set themselves.
+  std::vector<bool> seen(g_.num_vertices(), false);
+  std::vector<VertexId> frontier;
+  auto push = [&](VertexId v) {
+    if (!seen[v]) {
+      seen[v] = true;
+      frontier.push_back(v);
+    }
+  };
+  for (VertexId v : dirty) {
+    push(v);
+    // Neighbours in both boundary snapshots cover any list the vertex
+    // had inside the window for the unaffected check.
+    for (VertexId u : g_.snapshot(start_).graph.neighbors(v)) push(u);
+    for (VertexId u :
+         g_.snapshot(start_ + k_ - 1).graph.neighbors(v)) {
+      push(u);
+    }
+    if (start_ > 0) {
+      for (VertexId u : g_.snapshot(start_ - 1).graph.neighbors(v)) push(u);
+    }
+  }
+  for (VertexId v : frontier) classify_vertex(v);
+  last_reclassified_ = frontier.size();
+}
+
+void IncrementalClassifier::rebuild(SnapshotId start) {
+  start_ = start;
+  cls_.window = {start, k_};
+  std::fill(feat_cnt_.begin(), feat_cnt_.end(), 0);
+  std::fill(topo_cnt_.begin(), topo_cnt_.end(), 0);
+  std::fill(absent_cnt_.begin(), absent_cnt_.end(), 0);
+  std::vector<VertexId> dirty;  // unused on rebuild
+  for (SnapshotId t = start; t + 1 < start + k_; ++t) {
+    apply_transition(transition(t), +1, dirty);
+  }
+  for (SnapshotId t = start; t < start + k_; ++t) {
+    apply_absent(t, +1, dirty);
+  }
+  for (VertexId v = 0; v < g_.num_vertices(); ++v) classify_vertex(v);
+  last_reclassified_ = g_.num_vertices();
+  positioned_ = true;
+}
+
+void IncrementalClassifier::slide_forward() {
+  std::vector<VertexId> dirty;
+  // Leaving: transition (start -> start+1) and snapshot `start`.
+  apply_transition(transition(start_), -1, dirty);
+  apply_absent(start_, -1, dirty);
+  // Entering: transition (start+k-1 -> start+k) and snapshot start+k.
+  apply_transition(transition(start_ + k_ - 1), +1, dirty);
+  apply_absent(start_ + k_, +1, dirty);
+  ++start_;
+  cls_.window = {start_, k_};
+  reclassify(dirty);
+}
+
+const WindowClassification& IncrementalClassifier::advance(SnapshotId start) {
+  TAGNN_CHECK_MSG(start + k_ <= g_.num_snapshots(),
+                  "window [" << start << ", " << start + k_
+                             << ") beyond trace end");
+  if (positioned_ && start == start_) return cls_;
+  if (positioned_ && start == start_ + 1) {
+    slide_forward();
+  } else {
+    rebuild(start);
+  }
+  return cls_;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,119 @@
+#include "graph/ocsr.hpp"
+
+#include "common/check.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+
+OCsr OCsr::build(const DynamicGraph& g, Window window,
+                 const WindowClassification& cls,
+                 const AffectedSubgraph& sub) {
+  const VertexId n = g.num_vertices();
+  const auto k = static_cast<std::size_t>(window.length);
+  const std::size_t dim = g.feature_dim();
+
+  OCsr o;
+  o.window_ = window;
+  o.sindex_.reserve(sub.size());
+  o.enum_counts_.reserve(sub.size());
+  o.row_start_.reserve(sub.size() + 1);
+  o.row_start_.push_back(0);
+
+  // --- Structure arrays, one row per subgraph vertex in DFS order. ---
+  for (VertexId v : sub.vertices) {
+    o.sindex_.push_back(v);
+    std::uint32_t count = 0;
+    for (SnapshotId t = window.start; t < window.end(); ++t) {
+      for (VertexId u : g.snapshot(t).graph.neighbors(v)) {
+        o.tindex_.push_back(u);
+        o.timestamps_.push_back(t);
+        ++count;
+      }
+    }
+    o.enum_counts_.push_back(count);
+    o.row_start_.push_back(o.tindex_.size());
+  }
+
+  // --- Feature table: mark needed (vertex, snapshot) slots. ---
+  o.slot_of_.assign(static_cast<std::size_t>(n) * (k + 1), kNoSlot);
+  auto slot_index = [&](VertexId v, std::size_t kk) {
+    return static_cast<std::size_t>(v) * (k + 1) + kk;
+  };
+  std::size_t next_row = 0;
+  auto require = [&](VertexId v, SnapshotId t) {
+    if (cls.feature_stable[v]) {
+      auto& s = o.slot_of_[slot_index(v, k)];
+      if (s == kNoSlot) s = static_cast<std::uint32_t>(next_row++);
+    } else {
+      const Snapshot& snap = g.snapshot(t);
+      if (!snap.present[v]) return;  // absent: no feature stored
+      auto& s = o.slot_of_[slot_index(v, t - window.start)];
+      if (s == kNoSlot) s = static_cast<std::uint32_t>(next_row++);
+    }
+  };
+
+  for (std::size_t row = 0; row < o.sindex_.size(); ++row) {
+    const VertexId v = o.sindex_[row];
+    for (SnapshotId t = window.start; t < window.end(); ++t) {
+      require(v, t);
+    }
+    const auto tgts = o.targets(row);
+    const auto ts = o.timestamps(row);
+    for (std::size_t e = 0; e < tgts.size(); ++e) require(tgts[e], ts[e]);
+  }
+
+  // --- Materialise the rows. ---
+  o.features_ = Matrix(next_row, dim);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint32_t shared = o.slot_of_[slot_index(v, k)];
+    if (shared != kNoSlot) {
+      copy(g.snapshot(window.start).features.row(v), o.features_.row(shared));
+    }
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::uint32_t s = o.slot_of_[slot_index(v, kk)];
+      if (s != kNoSlot) {
+        copy(g.snapshot(window.start + static_cast<SnapshotId>(kk))
+                 .features.row(v),
+             o.features_.row(s));
+      }
+    }
+  }
+  return o;
+}
+
+std::uint32_t OCsr::feature_slot(VertexId v, SnapshotId t) const {
+  const auto k = static_cast<std::size_t>(window_.length);
+  const std::size_t base = static_cast<std::size_t>(v) * (k + 1);
+  const std::uint32_t shared = slot_of_[base + k];
+  if (shared != kNoSlot) return shared;
+  TAGNN_CHECK_MSG(window_.contains(t), "snapshot " << t << " outside window");
+  return slot_of_[base + (t - window_.start)];
+}
+
+bool OCsr::has_feature(VertexId v, SnapshotId t) const {
+  const auto k = static_cast<std::size_t>(window_.length);
+  const std::size_t base = static_cast<std::size_t>(v) * (k + 1);
+  if (slot_of_[base + k] != kNoSlot) return true;
+  if (!window_.contains(t)) return false;
+  return slot_of_[base + (t - window_.start)] != kNoSlot;
+}
+
+std::span<const float> OCsr::feature(VertexId v, SnapshotId t) const {
+  const std::uint32_t s = feature_slot(v, t);
+  TAGNN_CHECK_MSG(s != kNoSlot,
+                  "no stored feature for vertex " << v << " @ " << t);
+  return features_.row(s);
+}
+
+std::size_t OCsr::structure_bytes() const {
+  return sindex_.size() * sizeof(VertexId) +
+         tindex_.size() * sizeof(VertexId) +
+         timestamps_.size() * sizeof(SnapshotId) +
+         enum_counts_.size() * sizeof(std::uint32_t);
+}
+
+std::size_t OCsr::feature_bytes() const {
+  return features_.size() * sizeof(float);
+}
+
+}  // namespace tagnn

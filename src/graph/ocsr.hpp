@@ -1,0 +1,89 @@
+// Overlap-aware Compressed Sparse Row (O-CSR) — the paper's
+// cache-friendly multi-snapshot representation of the affected subgraph
+// (section 3.1, Fig. 4(c)).
+//
+// Arrays (paper names in parentheses):
+//   sindex     (Sindex)    — source vertex of each subgraph row
+//   tindex     (Tindex)    — target vertex of each edge, all snapshots
+//   timestamps (Timestamp) — snapshot id of each edge
+//   enum_counts(Enum)      — edges per source across the window
+//   features   (Feature)   — one row per stored (vertex, snapshot);
+//                            feature-stable vertices are stored once.
+//
+// Space: 2|E_s| + (K*D + 2)|V_s| words, matching the paper's bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/affected_subgraph.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tagnn {
+
+class OCsr {
+ public:
+  /// An edge of the affected subgraph: (target vertex, snapshot).
+  struct Edge {
+    VertexId target;
+    SnapshotId timestamp;
+  };
+
+  static OCsr build(const DynamicGraph& g, Window window,
+                    const WindowClassification& cls,
+                    const AffectedSubgraph& sub);
+
+  std::size_t num_sources() const { return sindex_.size(); }
+  VertexId source(std::size_t row) const { return sindex_[row]; }
+  std::uint32_t enum_count(std::size_t row) const { return enum_counts_[row]; }
+
+  /// Edges of row `row` (contiguous, snapshot-major ascending).
+  std::span<const VertexId> targets(std::size_t row) const {
+    return {tindex_.data() + row_start_[row],
+            static_cast<std::size_t>(row_start_[row + 1] - row_start_[row])};
+  }
+  std::span<const SnapshotId> timestamps(std::size_t row) const {
+    return {timestamps_.data() + row_start_[row],
+            static_cast<std::size_t>(row_start_[row + 1] - row_start_[row])};
+  }
+
+  std::size_t total_edges() const { return tindex_.size(); }
+
+  /// Feature row of vertex v at snapshot t (a feature-stable vertex
+  /// resolves to its single shared row). v must be a subgraph vertex or
+  /// a neighbour of one.
+  std::span<const float> feature(VertexId v, SnapshotId t) const;
+
+  /// True iff the feature table holds a row for (v, t).
+  bool has_feature(VertexId v, SnapshotId t) const;
+
+  std::size_t num_feature_rows() const { return features_.rows(); }
+  std::size_t feature_dim() const { return features_.cols(); }
+  Window window() const { return window_; }
+
+  /// Structure bytes (sindex + tindex + timestamps + enum).
+  std::size_t structure_bytes() const;
+  /// Feature bytes actually stored (after stable-row dedup).
+  std::size_t feature_bytes() const;
+  std::size_t bytes() const { return structure_bytes() + feature_bytes(); }
+
+ private:
+  std::uint32_t feature_slot(VertexId v, SnapshotId t) const;
+
+  Window window_;
+  std::vector<VertexId> sindex_;
+  std::vector<EdgeId> row_start_;  // prefix sums of enum_counts_
+  std::vector<VertexId> tindex_;
+  std::vector<SnapshotId> timestamps_;
+  std::vector<std::uint32_t> enum_counts_;
+
+  // Feature table: slot_of_[v * (K + 1) + k] is the row of v's feature
+  // at window snapshot k; slot K is the shared row of feature-stable
+  // vertices. kNoSlot where absent.
+  static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> slot_of_;
+  Matrix features_;
+};
+
+}  // namespace tagnn

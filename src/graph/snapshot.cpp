@@ -1,0 +1,22 @@
+#include "graph/snapshot.hpp"
+
+#include "common/check.hpp"
+
+namespace tagnn {
+
+void Snapshot::validate() const {
+  const VertexId n = graph.num_vertices();
+  TAGNN_CHECK(features.rows() == n);
+  TAGNN_CHECK(present.size() == n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!present[v]) {
+      TAGNN_CHECK_MSG(graph.degree(v) == 0,
+                      "absent vertex " << v << " has edges");
+    }
+    for (VertexId u : graph.neighbors(v)) {
+      TAGNN_CHECK_MSG(present[u], "edge to absent vertex " << u);
+    }
+  }
+}
+
+}  // namespace tagnn

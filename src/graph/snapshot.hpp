@@ -1,0 +1,28 @@
+// One snapshot G_t = (V_t, E_t, X_t) of a dynamic graph.
+//
+// All snapshots of a dynamic graph share a fixed vertex universe
+// [0, n); vertex addition/removal is modelled with a presence bitmap
+// (an absent vertex has an empty neighbour list and a zero feature row).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tagnn {
+
+struct Snapshot {
+  CsrGraph graph;
+  Matrix features;              // (n x dim)
+  std::vector<bool> present;    // n entries
+
+  VertexId num_vertices() const { return graph.num_vertices(); }
+  std::size_t feature_dim() const { return features.cols(); }
+
+  /// Validates internal consistency (shapes agree, absent vertices have
+  /// no edges). Throws on violation.
+  void validate() const;
+};
+
+}  // namespace tagnn

@@ -1,0 +1,264 @@
+#include "graph/trace_io.hpp"
+
+#include <cstring>
+#include <type_traits>
+#include <utility>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tagnn {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'G', 'N', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_bytes(std::ostream& os, const void* p, std::size_t n) {
+  os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+  if (!os) throw std::runtime_error("trace write failed");
+}
+
+template <typename T>
+void put(std::ostream& os, T v) {
+  put_bytes(os, &v, sizeof(T));
+}
+
+void get_bytes(std::istream& is, void* p, std::size_t n) {
+  is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is.gcount()) != n) {
+    throw std::runtime_error("trace truncated");
+  }
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v;
+  get_bytes(is, &v, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void write_trace(const DynamicGraph& g, std::ostream& os) {
+  put_bytes(os, kMagic, 4);
+  put<std::uint32_t>(os, kVersion);
+  const VertexId n = g.num_vertices();
+  put<std::uint32_t>(os, n);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(g.feature_dim()));
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(g.num_snapshots()));
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(g.name().size()));
+  put_bytes(os, g.name().data(), g.name().size());
+
+  for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
+    const Snapshot& s = g.snapshot(t);
+    put<std::uint64_t>(os, s.graph.num_edges());
+    put_bytes(os, s.graph.offsets().data(),
+              s.graph.offsets().size() * sizeof(EdgeId));
+    put_bytes(os, s.graph.neighbor_array().data(),
+              s.graph.neighbor_array().size() * sizeof(VertexId));
+    std::vector<std::uint8_t> present(n);
+    for (VertexId v = 0; v < n; ++v) present[v] = s.present[v] ? 1 : 0;
+    put_bytes(os, present.data(), present.size());
+    put_bytes(os, s.features.data(), s.features.size() * sizeof(float));
+  }
+}
+
+void write_trace_file(const DynamicGraph& g, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open trace for write: " + path);
+  write_trace(g, os);
+}
+
+DynamicGraph read_trace(std::istream& is) {
+  char magic[4];
+  get_bytes(is, magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw std::runtime_error("not a TaGNN trace (bad magic)");
+  }
+  const auto version = get<std::uint32_t>(is);
+  if (version != kVersion) {
+    throw std::runtime_error("unsupported trace version " +
+                             std::to_string(version));
+  }
+  const auto n = get<std::uint32_t>(is);
+  const auto dim = get<std::uint32_t>(is);
+  const auto snapshots = get<std::uint32_t>(is);
+  if (snapshots == 0 || n == 0) {
+    throw std::runtime_error("trace has no data");
+  }
+  const auto name_len = get<std::uint32_t>(is);
+  if (name_len > 4096) throw std::runtime_error("trace name too long");
+  std::string name(name_len, '\0');
+  get_bytes(is, name.data(), name_len);
+
+  std::vector<Snapshot> snaps;
+  snaps.reserve(snapshots);
+  for (std::uint32_t t = 0; t < snapshots; ++t) {
+    const auto edges = get<std::uint64_t>(is);
+    std::vector<EdgeId> offsets(static_cast<std::size_t>(n) + 1);
+    get_bytes(is, offsets.data(), offsets.size() * sizeof(EdgeId));
+    std::vector<VertexId> nbrs(static_cast<std::size_t>(edges));
+    get_bytes(is, nbrs.data(), nbrs.size() * sizeof(VertexId));
+    for (VertexId u : nbrs) {
+      if (u >= n) throw std::runtime_error("trace neighbor out of range");
+    }
+    Snapshot s;
+    try {
+      s.graph = CsrGraph::from_csr(std::move(offsets), std::move(nbrs));
+    } catch (const std::logic_error& e) {
+      throw std::runtime_error(std::string("malformed trace CSR: ") +
+                               e.what());
+    }
+    std::vector<std::uint8_t> present(n);
+    get_bytes(is, present.data(), present.size());
+    s.present.assign(present.begin(), present.end());
+    s.features = Matrix(n, dim);
+    get_bytes(is, s.features.data(), s.features.size() * sizeof(float));
+    snaps.push_back(std::move(s));
+  }
+  return DynamicGraph(name, std::move(snaps));
+}
+
+DynamicGraph read_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open trace: " + path);
+  return read_trace(is);
+}
+
+namespace {
+
+// Reads the next non-comment token; throws at end of stream.
+std::string next_token(std::istream& is) {
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') {
+      std::string rest;
+      std::getline(is, rest);
+      continue;
+    }
+    return tok;
+  }
+  throw std::runtime_error("text trace truncated");
+}
+
+template <typename T>
+T next_number(std::istream& is) {
+  const std::string tok = next_token(is);
+  try {
+    if constexpr (std::is_floating_point_v<T>) {
+      return static_cast<T>(std::stod(tok));
+    } else {
+      return static_cast<T>(std::stoull(tok));
+    }
+  } catch (const std::exception&) {
+    throw std::runtime_error("text trace: expected a number, got '" + tok +
+                             "'");
+  }
+}
+
+void expect_keyword(std::istream& is, const char* kw) {
+  const std::string tok = next_token(is);
+  if (tok != kw) {
+    throw std::runtime_error(std::string("text trace: expected '") + kw +
+                             "', got '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+DynamicGraph read_text_trace(std::istream& is, const std::string& name) {
+  const auto n = next_number<VertexId>(is);
+  const auto dim = next_number<std::size_t>(is);
+  const auto snapshots = next_number<std::size_t>(is);
+  if (n == 0 || snapshots == 0) {
+    throw std::runtime_error("text trace has no data");
+  }
+  std::vector<Snapshot> snaps;
+  for (std::size_t t = 0; t < snapshots; ++t) {
+    expect_keyword(is, "snapshot");
+    const auto tid = next_number<std::size_t>(is);
+    if (tid != t) {
+      throw std::runtime_error("text trace: snapshots out of order");
+    }
+    expect_keyword(is, "edges");
+    const auto m = next_number<std::size_t>(is);
+    std::vector<std::pair<VertexId, VertexId>> edges;
+    edges.reserve(m);
+    for (std::size_t e = 0; e < m; ++e) {
+      const auto u = next_number<VertexId>(is);
+      const auto v = next_number<VertexId>(is);
+      if (u >= n || v >= n) {
+        throw std::runtime_error("text trace: edge endpoint out of range");
+      }
+      edges.emplace_back(u, v);
+    }
+    Snapshot s;
+    s.graph = CsrGraph::from_edges(n, std::move(edges));
+    s.present.assign(n, true);
+    expect_keyword(is, "absent");
+    const auto k = next_number<std::size_t>(is);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto v = next_number<VertexId>(is);
+      if (v >= n) throw std::runtime_error("text trace: absent id range");
+      s.present[v] = false;
+    }
+    expect_keyword(is, "features");
+    s.features = Matrix(n, dim);
+    for (VertexId v = 0; v < n; ++v) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        s.features(v, j) = next_number<float>(is);
+      }
+    }
+    snaps.push_back(std::move(s));
+  }
+  DynamicGraph g(name, std::move(snaps));
+  try {
+    g.validate();
+  } catch (const std::logic_error& e) {
+    throw std::runtime_error(std::string("inconsistent text trace: ") +
+                             e.what());
+  }
+  return g;
+}
+
+DynamicGraph read_text_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open trace: " + path);
+  return read_text_trace(is, path);
+}
+
+void write_text_trace(const DynamicGraph& g, std::ostream& os) {
+  os << "# TaGNN text trace: " << g.name() << "\n"
+     << g.num_vertices() << ' ' << g.feature_dim() << ' '
+     << g.num_snapshots() << "\n";
+  for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
+    const Snapshot& s = g.snapshot(t);
+    os << "snapshot " << t << "\n";
+    os << "edges " << s.graph.num_edges() << "\n";
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (VertexId u : s.graph.neighbors(v)) {
+        os << v << ' ' << u << "\n";
+      }
+    }
+    std::vector<VertexId> absent;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (!s.present[v]) absent.push_back(v);
+    }
+    os << "absent " << absent.size();
+    for (VertexId v : absent) os << ' ' << v;
+    os << "\n";
+    os << "features\n";
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const auto row = s.features.row(v);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        os << (j ? " " : "") << row[j];
+      }
+      os << "\n";
+    }
+  }
+  if (!os) throw std::runtime_error("text trace write failed");
+}
+
+}  // namespace tagnn

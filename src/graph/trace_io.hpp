@@ -1,0 +1,53 @@
+// Binary trace I/O for dynamic graphs.
+//
+// A `.tgt` (TaGNN trace) file stores a full DynamicGraph — all
+// snapshots' CSR structure, presence bitmaps, and feature matrices — in
+// a versioned little-endian binary layout, so users can run the
+// library/accelerator on their own captured graph streams instead of
+// the synthetic generators.
+//
+// Layout (all integers little-endian):
+//   magic "TGNT" | u32 version | u32 n | u32 dim | u32 snapshots
+//   name: u32 len + bytes
+//   per snapshot:
+//     u64 num_edges
+//     u64 offsets[n+1]
+//     u32 neighbors[num_edges]
+//     u8  present[n]
+//     f32 features[n*dim]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/dynamic_graph.hpp"
+
+namespace tagnn {
+
+/// Serialises `g` to the stream. Throws std::runtime_error on write
+/// failure.
+void write_trace(const DynamicGraph& g, std::ostream& os);
+void write_trace_file(const DynamicGraph& g, const std::string& path);
+
+/// Reads a trace back; validates magic, version, and structural
+/// invariants (sorted CSR rows, consistent shapes). Throws
+/// std::runtime_error on malformed input.
+DynamicGraph read_trace(std::istream& is);
+DynamicGraph read_trace_file(const std::string& path);
+
+/// Reads a human-editable text trace for interop with external tools.
+/// Format (whitespace separated, '#' comments):
+///   header:   n dim snapshots
+///   per snapshot:
+///     "snapshot" t
+///     "edges" m            followed by m lines "u v" (directed)
+///     "absent" k           followed by k vertex ids (optional, k may be 0)
+///     "features"           followed by n lines of dim floats
+/// Undirected graphs list both directions explicitly.
+DynamicGraph read_text_trace(std::istream& is, const std::string& name);
+DynamicGraph read_text_trace_file(const std::string& path);
+
+/// Writes the same text format (inverse of read_text_trace).
+void write_text_trace(const DynamicGraph& g, std::ostream& os);
+
+}  // namespace tagnn

@@ -1,0 +1,82 @@
+#include "nn/accuracy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+namespace {
+
+int argmax_class(std::span<const float> h, const Matrix& readout,
+                 std::vector<float>& logits) {
+  gemv(h, readout, logits);
+  return static_cast<int>(std::distance(
+      logits.begin(), std::max_element(logits.begin(), logits.end())));
+}
+
+}  // namespace
+
+AccuracyTask make_accuracy_task(const DynamicGraph& g,
+                                const EngineResult& exact_run,
+                                std::size_t classes, double target_baseline,
+                                std::uint64_t seed) {
+  TAGNN_CHECK(classes >= 2);
+  TAGNN_CHECK(target_baseline > 1.0 / static_cast<double>(classes) &&
+              target_baseline <= 1.0);
+  TAGNN_CHECK(!exact_run.outputs.empty());
+
+  AccuracyTask task;
+  task.classes = classes;
+  Rng rng(seed);
+  task.readout = Matrix::random(exact_run.outputs.front().cols(), classes,
+                                rng, 1.0f);
+  // accuracy = (1 - noise) + 0 (a flipped label is never the argmax by
+  // construction) -> noise = 1 - target.
+  task.label_noise = 1.0 - target_baseline;
+
+  task.labels.resize(exact_run.outputs.size());
+  std::vector<float> logits(classes);
+  for (std::size_t t = 0; t < exact_run.outputs.size(); ++t) {
+    const Matrix& h = exact_run.outputs[t];
+    task.labels[t].assign(h.rows(), -1);
+    const Snapshot& snap = g.snapshot(static_cast<SnapshotId>(t));
+    for (std::size_t v = 0; v < h.rows(); ++v) {
+      if (!snap.present[v]) continue;
+      const int best = argmax_class(h.row(v), task.readout, logits);
+      if (rng.chance(task.label_noise)) {
+        // A different class, uniformly.
+        int other = static_cast<int>(rng.next_below(classes - 1));
+        if (other >= best) ++other;
+        task.labels[t][v] = other;
+      } else {
+        task.labels[t][v] = best;
+      }
+    }
+  }
+  return task;
+}
+
+double evaluate_accuracy(const DynamicGraph& g, const AccuracyTask& task,
+                         const std::vector<Matrix>& outputs,
+                         std::size_t from_snapshot) {
+  TAGNN_CHECK(outputs.size() == task.labels.size());
+  if (from_snapshot == SIZE_MAX) from_snapshot = outputs.size() / 2;
+  std::vector<float> logits(task.classes);
+  std::size_t correct = 0, total = 0;
+  for (std::size_t t = from_snapshot; t < outputs.size(); ++t) {
+    const Snapshot& snap = g.snapshot(static_cast<SnapshotId>(t));
+    for (std::size_t v = 0; v < outputs[t].rows(); ++v) {
+      if (task.labels[t][v] < 0 || !snap.present[v]) continue;
+      ++total;
+      const int pred = argmax_class(outputs[t].row(v), task.readout, logits);
+      correct += (pred == task.labels[t][v]);
+    }
+  }
+  return total > 0 ? static_cast<double>(correct) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace tagnn

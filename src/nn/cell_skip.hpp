@@ -1,0 +1,42 @@
+// Similarity-aware cell skipping policy (paper section 3.1):
+//   θ > θ_e            → skip   (reuse previous final feature)
+//   θ_s <= θ <= θ_e    → delta  (partial cell update on condensed Δ)
+//   θ < θ_s            → full   (normal RNN cell update)
+#pragma once
+
+namespace tagnn {
+
+enum class CellMode : int { kFull = 0, kDelta = 1, kSkip = 2 };
+
+struct SkipThresholds {
+  // Defaults: delta path for the broad middle band, full skip only for
+  // near-identical outputs. The paper reports [-0.5, 0.5] as optimal on
+  // its trained models (Fig. 14(a)); with untrained weights the cosine
+  // -> output-similarity coupling is looser, so the skip threshold sits
+  // higher to keep the accuracy loss in the paper's <1 % band.
+  float theta_s = -0.5f;
+  float theta_e = 0.995f;
+
+  /// Disabled policy: every vertex takes the full path.
+  static SkipThresholds never() { return {2.0f, 2.0f}; }
+};
+
+inline CellMode decide_cell_mode(float theta, const SkipThresholds& th) {
+  if (theta > th.theta_e) return CellMode::kSkip;
+  if (theta >= th.theta_s) return CellMode::kDelta;
+  return CellMode::kFull;
+}
+
+inline const char* to_string(CellMode m) {
+  switch (m) {
+    case CellMode::kFull:
+      return "full";
+    case CellMode::kDelta:
+      return "delta";
+    case CellMode::kSkip:
+      return "skip";
+  }
+  return "?";
+}
+
+}  // namespace tagnn

@@ -1,0 +1,272 @@
+// Topology-aware concurrent DGNN inference (TaGNN-S, paper section 3).
+//
+// Per window of K snapshots:
+//   1. classify vertices, derive per-layer unchanged sets, extract the
+//      affected subgraph and build the O-CSR  (overhead phase);
+//   2. charge each stored feature row once, weights once per window
+//      (load phase);
+//   3. run the GCN stack over all K snapshots, computing unchanged
+//      vertices only at the window's first snapshot and copying their
+//      rows elsewhere (gnn phase);
+//   4. run the RNN with similarity-aware cell skipping (rnn phase).
+#include "common/stopwatch.hpp"
+#include "graph/affected_subgraph.hpp"
+#include "graph/ocsr.hpp"
+#include "nn/engine.hpp"
+#include "nn/engine_detail.hpp"
+#include "nn/gcn.hpp"
+#include "nn/similarity.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+namespace {
+
+// Charges the feature traffic of one GCN layer over one snapshot under
+// the O-CSR streaming model: rows whose content is window-stable at
+// this layer are fetched once per window (window_seen), other rows once
+// per snapshot; repeated gathers hit the on-chip buffer. A per-snapshot
+// charge of a row that is bitwise identical to the previous snapshot's
+// is the residual redundancy TaGNN-S still pays (Fig. 8(b)).
+void charge_concurrent_traffic(const Snapshot& snap,
+                               const std::vector<bool>* compute,
+                               const std::vector<bool>& stable_row,
+                               const std::vector<bool>* eq_prev,
+                               std::vector<bool>& window_seen,
+                               std::size_t d_in, OpCounts& counts) {
+  const VertexId n = snap.num_vertices();
+  std::vector<bool> snap_seen(n, false);
+  double rows = 0, redundant = 0;
+  auto touch = [&](VertexId u) {
+    if (stable_row[u]) {
+      if (!window_seen[u]) {
+        window_seen[u] = true;
+        rows += 1;
+      }
+    } else if (!snap_seen[u]) {
+      snap_seen[u] = true;
+      rows += 1;
+      if (eq_prev != nullptr && (*eq_prev)[u]) redundant += 1;
+    }
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    if (compute != nullptr && !(*compute)[v]) continue;
+    touch(v);
+    for (VertexId u : snap.graph.neighbors(v)) touch(u);
+  }
+  counts.feature_bytes += rows * static_cast<double>(d_in) * 4.0;
+  counts.redundant_bytes += redundant * static_cast<double>(d_in) * 4.0;
+}
+
+}  // namespace
+
+EngineResult ConcurrentEngine::run(const DynamicGraph& g,
+                                   const DgnnWeights& weights) const {
+  return run(g, weights, nullptr);
+}
+
+EngineResult ConcurrentEngine::run(const DynamicGraph& g,
+                                   const DgnnWeights& weights,
+                                   StreamCarry* carry) const {
+  const VertexId n = g.num_vertices();
+  TAGNN_CHECK(g.feature_dim() == weights.gnn.front().rows());
+  TAGNN_CHECK(opts_.window_size >= 1);
+  const std::size_t layers = weights.config.gnn_layers;
+  const RnnCell cell(weights);
+  detail::RnnState st(n, cell);
+
+  EngineResult res;
+  // Last input / hidden state actually folded into each vertex's gate
+  // cache: skips leave them untouched, so a later delta update applies
+  // the *total* drift since the last applied values, not just the last
+  // step's.
+  Matrix z_applied(n, weights.config.gnn_hidden);
+  Matrix h_applied(n, cell.hidden());
+  SnapshotId global_offset = 0;
+  if (carry != nullptr && carry->h.rows() == n) {
+    st.h = carry->h;
+    st.c = carry->c;
+    st.cache = carry->cache;
+    z_applied = carry->z_applied;
+    h_applied = carry->h_applied;
+    global_offset = carry->global_offset;
+  }
+
+  const auto total = static_cast<SnapshotId>(g.num_snapshots());
+  for (SnapshotId start = 0; start < total; start += opts_.window_size) {
+    const Window w{start,
+                   std::min<SnapshotId>(opts_.window_size, total - start)};
+    const std::size_t k = w.length;
+
+    // ---- Overhead phase: classification + subgraph + O-CSR. ----
+    Stopwatch sw;
+    const WindowClassification cls = classify_window(g, w);
+    std::vector<std::vector<bool>> unchanged;
+    if (opts_.gnn_reuse) {
+      unchanged = unchanged_per_layer(g, w, cls, layers);
+    }
+    const AffectedSubgraph sub = extract_affected_subgraph(g, w, cls);
+    const OCsr ocsr = OCsr::build(g, w, cls, sub);
+    res.seconds.overhead += sw.seconds();
+
+    // ---- Load phase: stored rows once, weights once per window. ----
+    sw.reset();
+    res.load_counts.structure_bytes += ocsr.structure_bytes();
+    res.load_counts.feature_bytes += ocsr.feature_bytes();
+    // Unaffected vertices outside the O-CSR still stream in once.
+    std::size_t outside_rows = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!ocsr.has_feature(v, w.start)) ++outside_rows;
+    }
+    res.load_counts.feature_bytes +=
+        static_cast<double>(outside_rows) * g.feature_dim() * 4.0;
+    res.load_counts.weight_bytes +=
+        static_cast<double>(weights.gnn_param_count() +
+                            weights.rnn_param_count()) *
+        4.0;
+    res.seconds.load += sw.seconds();
+
+    // ---- GNN phase over all K snapshots, layer by layer. ----
+    sw.reset();
+    std::vector<bool> all_resident(n, true);
+    std::vector<Matrix> cur(k), nxt(k);
+    for (std::size_t l = 0; l < layers; ++l) {
+      std::vector<bool> window_seen(n, false);
+      std::vector<bool> compute_mask;
+      for (std::size_t tk = 0; tk < k; ++tk) {
+        const SnapshotId t = w.start + static_cast<SnapshotId>(tk);
+        const Snapshot& snap = g.snapshot(t);
+        const Matrix& in = (l == 0) ? snap.features : cur[tk];
+        GcnForwardOptions fwd;
+        fwd.relu_output = l + 1 < layers;
+        const std::vector<bool>* compute = nullptr;
+        if (opts_.gnn_reuse && tk > 0) {
+          compute_mask.assign(n, false);
+          for (VertexId v = 0; v < n; ++v) {
+            compute_mask[v] = !unchanged[l][v];
+          }
+          compute = &compute_mask;
+          fwd.compute = compute;
+        }
+        if (opts_.gnn_reuse) {
+          // Traffic is charged by the O-CSR streaming model below.
+          fwd.resident = &all_resident;
+        }
+        gcn_layer_forward(snap, in, weights.gnn[l], fwd, nxt[tk],
+                          res.gnn_counts);
+        if (opts_.gnn_reuse && tk > 0) {
+          // Copy window-unchanged rows from the first snapshot.
+          for (VertexId v = 0; v < n; ++v) {
+            if (unchanged[l][v]) {
+              copy(nxt[0].row(v), nxt[tk].row(v));
+              ++res.gnn_counts.gnn_vertex_reused;
+            }
+          }
+        }
+        if (opts_.gnn_reuse) {
+          const std::vector<bool>& stable_row =
+              (l == 0) ? cls.feature_stable : unchanged[l - 1];
+          std::vector<bool> eq;
+          const std::vector<bool>* eq_ptr = nullptr;
+          if (opts_.count_redundancy && tk > 0) {
+            const Matrix& prev_in =
+                (l == 0) ? g.snapshot(t - 1).features : cur[tk - 1];
+            eq = detail::rows_equal_mask(in, prev_in);
+            eq_ptr = &eq;
+          }
+          charge_concurrent_traffic(snap, compute, stable_row, eq_ptr,
+                                    window_seen, in.cols(), res.gnn_counts);
+        }
+      }
+      std::swap(cur, nxt);
+    }
+    res.seconds.gnn += sw.seconds();
+
+    // ---- RNN phase with similarity-aware cell skipping. ----
+    sw.reset();
+    for (std::size_t tk = 0; tk < k; ++tk) {
+      const SnapshotId t = w.start + static_cast<SnapshotId>(tk);
+      const Snapshot& snap = g.snapshot(t);
+      const Matrix& z = cur[tk];
+      const SnapshotId gt = global_offset + t;  // stream-global time
+      const Snapshot* prev_snap = t > 0 ? &g.snapshot(t - 1) : nullptr;
+      if (prev_snap == nullptr && carry != nullptr &&
+          carry->prev_snapshot.has_value()) {
+        prev_snap = &*carry->prev_snapshot;
+      }
+      TAGNN_CHECK_MSG(gt == 0 || prev_snap != nullptr,
+                      "stream carry missing the previous snapshot");
+
+      detail::parallel_vertices(
+          n,
+          [&](VertexId v, OpCounts& counts) {
+            if (!snap.present[v]) return;
+            CellMode mode = CellMode::kFull;
+            if (opts_.cell_skip && gt >= opts_.skip_warmup_snapshots &&
+                gt > 0) {
+              if (tk > 0 && cls.is_unaffected(v)) {
+                // Identical inputs and stable neighbourhood: θ = 1.
+                mode = CellMode::kSkip;
+              } else {
+                // Feature similarity is measured against the last input
+                // actually folded into the cell (z_applied), not merely
+                // the previous snapshot: otherwise a slow sequence of
+                // below-threshold changes could be skipped forever and
+                // the drift would never be corrected. The topological
+                // term still compares consecutive snapshots per the
+                // paper's formula.
+                const float theta = similarity_score(
+                    z_applied.row(v), z.row(v),
+                    prev_snap->graph.neighbors(v), snap.graph.neighbors(v),
+                    cls.clazz, &counts);
+                mode = decide_cell_mode(theta, opts_.thresholds);
+              }
+            }
+            switch (mode) {
+              case CellMode::kSkip:
+                ++counts.rnn_skip;
+                break;
+              case CellMode::kDelta: {
+                // Condense Unit: pack the non-zero input + recurrent
+                // deltas vs the last applied values, then push only
+                // those lanes through the gate weights.
+                const CondensedVector dx = condense_delta(
+                    z.row(v), z_applied.row(v), opts_.delta_eps);
+                const CondensedVector dh = condense_delta(
+                    st.h.row(v), h_applied.row(v), opts_.delta_eps);
+                cell.delta_update(dx, dh, st.h.row(v), st.c.row(v),
+                                  st.h.row(v), st.c.row(v), st.cache.row(v),
+                                  counts);
+                break;
+              }
+              case CellMode::kFull:
+                copy(st.h.row(v), h_applied.row(v));  // h folded by update
+                cell.full_update(z.row(v), st.h.row(v), st.c.row(v),
+                                 st.h.row(v), st.c.row(v), st.cache.row(v),
+                                 counts);
+                copy(z.row(v), z_applied.row(v));
+                break;
+            }
+          },
+          res.rnn_counts);
+
+      if (opts_.store_outputs) res.outputs.push_back(st.h);
+      ++res.snapshots_processed;
+    }
+    res.seconds.rnn += sw.seconds();
+  }
+  res.final_hidden = st.h;
+  if (carry != nullptr) {
+    carry->h = st.h;
+    carry->c = st.c;
+    carry->cache = st.cache;
+    carry->z_applied = z_applied;
+    carry->h_applied = h_applied;
+    carry->global_offset =
+        global_offset + static_cast<SnapshotId>(g.num_snapshots());
+    carry->prev_snapshot =
+        g.snapshot(static_cast<SnapshotId>(g.num_snapshots()) - 1);
+  }
+  return res;
+}
+
+}  // namespace tagnn

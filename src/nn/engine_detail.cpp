@@ -1,0 +1,63 @@
+#include "nn/engine_detail.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+
+namespace tagnn::detail {
+
+void parallel_vertices(VertexId n,
+                       const std::function<void(VertexId, OpCounts&)>& fn,
+                       OpCounts& total) {
+  std::mutex mu;
+  parallel_for(0, n, [&](std::size_t v0, std::size_t v1) {
+    OpCounts local;
+    for (std::size_t v = v0; v < v1; ++v) {
+      fn(static_cast<VertexId>(v), local);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    total += local;
+  }, /*serial_threshold=*/512);
+}
+
+std::vector<bool> rows_equal_mask(const Matrix& a, const Matrix& b) {
+  // Serial on purpose: vector<bool> packs bits, so concurrent writes to
+  // adjacent entries would race. The early-exit std::equal keeps this
+  // cheap in practice.
+  std::vector<bool> eq(a.rows(), false);
+  const std::size_t d = a.cols();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float* x = a.data() + r * d;
+    const float* y = b.data() + r * d;
+    eq[r] = std::equal(x, x + d, y);
+  }
+  return eq;
+}
+
+void count_gather_redundancy(const Snapshot& snap,
+                             const std::vector<bool>* compute,
+                             const std::vector<bool>* row_unchanged,
+                             std::size_t d_in, OpCounts& counts) {
+  const VertexId n = snap.num_vertices();
+  std::vector<bool> seen(n, false);
+  double redundant_rows = 0;
+  auto touch = [&](VertexId u) {
+    if (seen[u]) {
+      redundant_rows += 1;  // intra-snapshot duplicate gather
+    } else {
+      seen[u] = true;
+      if (row_unchanged != nullptr && (*row_unchanged)[u]) {
+        redundant_rows += 1;  // identical to the previous snapshot's load
+      }
+    }
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    if (compute != nullptr && !(*compute)[v]) continue;
+    touch(v);
+    for (VertexId u : snap.graph.neighbors(v)) touch(u);
+  }
+  counts.redundant_bytes += redundant_rows * static_cast<double>(d_in) * 4.0;
+}
+
+}  // namespace tagnn::detail

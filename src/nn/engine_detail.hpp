@@ -1,0 +1,45 @@
+// Internal helpers shared by the reference and concurrent engines.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/snapshot.hpp"
+#include "nn/op_counts.hpp"
+#include "nn/rnn.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tagnn::detail {
+
+/// Per-vertex RNN state matrices persisted across snapshots.
+struct RnnState {
+  Matrix h;      // (n x H) final features
+  Matrix c;      // (n x cell_state_dim) LSTM cell state (0 cols for GRU)
+  Matrix cache;  // (n x cache_dim) gate pre-activation cache
+
+  RnnState(VertexId n, const RnnCell& cell)
+      : h(n, cell.hidden()),
+        c(n, cell.cell_state_dim()),
+        cache(n, cell.cache_dim()) {}
+};
+
+/// Runs `fn(v, counts)` for every vertex in parallel, merging the
+/// per-chunk OpCounts into `total`.
+void parallel_vertices(
+    VertexId n,
+    const std::function<void(VertexId, OpCounts&)>& fn, OpCounts& total);
+
+/// unchanged[v] = rows a and b of the two matrices are bitwise equal.
+std::vector<bool> rows_equal_mask(const Matrix& a, const Matrix& b);
+
+/// Counts redundant gather bytes for one GCN layer over `snap`:
+/// a gathered row is redundant if it was already gathered in this
+/// layer/snapshot (intra-snapshot duplicate) or if `row_unchanged` says
+/// its content is identical to the previous snapshot's load.
+/// `compute` restricts which vertices gather (nullptr = all).
+void count_gather_redundancy(const Snapshot& snap,
+                             const std::vector<bool>* compute,
+                             const std::vector<bool>* row_unchanged,
+                             std::size_t d_in, OpCounts& counts);
+
+}  // namespace tagnn::detail

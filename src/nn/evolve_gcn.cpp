@@ -1,0 +1,141 @@
+#include "nn/evolve_gcn.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "graph/classify.hpp"
+#include "nn/gcn.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+namespace {
+
+float sigmoid1(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+EvolveGcnWeights EvolveGcnWeights::init(std::size_t layers,
+                                        std::size_t input_dim,
+                                        std::size_t hidden,
+                                        std::uint64_t seed) {
+  TAGNN_CHECK(layers >= 1);
+  Rng rng(seed);
+  EvolveGcnWeights w;
+  w.config.name = "EvolveGCN-O";
+  w.config.gnn_layers = layers;
+  w.config.gnn_hidden = hidden;
+  std::size_t in = input_dim;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const float scale =
+        std::sqrt(6.0f / static_cast<float>(in + hidden));
+    w.gnn0.push_back(Matrix::random(in, hidden, rng, scale));
+    // Small-gain GRU transforms keep the weight evolution stable (the
+    // trained model would learn this; see DESIGN.md).
+    const float gs = 0.2f / std::sqrt(static_cast<float>(in));
+    LayerGru g;
+    g.uz = Matrix::random(in, in, rng, gs);
+    g.vz = Matrix::random(in, in, rng, gs);
+    g.ur = Matrix::random(in, in, rng, gs);
+    g.vr = Matrix::random(in, in, rng, gs);
+    g.un = Matrix::random(in, in, rng, gs);
+    g.vn = Matrix::random(in, in, rng, gs);
+    w.gru.push_back(std::move(g));
+    in = hidden;
+  }
+  return w;
+}
+
+Matrix evolve_weights(const Matrix& w, const EvolveGcnWeights::LayerGru& g,
+                      OpCounts& counts) {
+  // Column-wise GRU with x = h = previous weights:
+  //   Z = sigmoid(Uz W + Vz W), R = sigmoid(Ur W + Vr W),
+  //   N = tanh(Un W + Vn (R .* W)), W' = (1 - Z) .* W + Z .* N.
+  const std::size_t in = w.rows();
+  TAGNN_CHECK(g.uz.rows() == in && g.uz.cols() == in);
+  Matrix t1, t2, rw(w.rows(), w.cols());
+  auto affine2 = [&](const Matrix& u, const Matrix& v, const Matrix& x,
+                     const Matrix& h, Matrix& out) {
+    gemm(u, x, t1);
+    gemm(v, h, t2);
+    out = Matrix(t1.rows(), t1.cols());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out.data()[i] = t1.data()[i] + t2.data()[i];
+    }
+  };
+  Matrix z, r, npre;
+  affine2(g.uz, g.vz, w, w, z);
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    z.data()[i] = sigmoid1(z.data()[i]);
+  }
+  affine2(g.ur, g.vr, w, w, r);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    r.data()[i] = sigmoid1(r.data()[i]);
+  }
+  for (std::size_t i = 0; i < rw.size(); ++i) {
+    rw.data()[i] = r.data()[i] * w.data()[i];
+  }
+  affine2(g.un, g.vn, w, rw, npre);
+  Matrix out(w.rows(), w.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float zz = z.data()[i];
+    out.data()[i] =
+        (1.0f - zz) * w.data()[i] + zz * std::tanh(npre.data()[i]);
+  }
+  counts.macs += 6.0 * static_cast<double>(in) * static_cast<double>(in) *
+                 static_cast<double>(w.cols());
+  counts.activations += 3.0 * static_cast<double>(w.size());
+  counts.weight_bytes += static_cast<double>(w.size()) * 4.0;
+  return out;
+}
+
+EngineResult run_evolve_gcn(const DynamicGraph& g,
+                            const EvolveGcnWeights& weights,
+                            bool reuse_features) {
+  const VertexId n = g.num_vertices();
+  TAGNN_CHECK(g.feature_dim() == weights.gnn0.front().rows());
+  const std::size_t layers = weights.config.gnn_layers;
+
+  EngineResult res;
+  std::vector<Matrix> w_cur = weights.gnn0;
+  Matrix a, b;
+  std::vector<bool> resident;
+  for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
+    const Snapshot& snap = g.snapshot(t);
+    Stopwatch sw;
+    if (t > 0) {
+      // Weights evolve every snapshot — this is the model's "temporal"
+      // component; vertex-level outputs therefore change even for
+      // unaffected vertices, so no cross-snapshot output reuse exists.
+      for (std::size_t l = 0; l < layers; ++l) {
+        w_cur[l] = evolve_weights(w_cur[l], weights.gru[l], res.rnn_counts);
+      }
+    }
+    res.seconds.rnn += sw.seconds();  // weight evolution ~ temporal phase
+
+    sw.reset();
+    if (reuse_features && t > 0) {
+      // Feature-load dedup (the surviving OADL piece): rows identical
+      // to the previous snapshot need no re-fetch.
+      const WindowClassification cls = classify_window(g, {t - 1, 2});
+      resident.assign(n, false);
+      for (VertexId v = 0; v < n; ++v) resident[v] = cls.feature_stable[v];
+    }
+    const Matrix* in = &snap.features;
+    for (std::size_t l = 0; l < layers; ++l) {
+      Matrix& out = (l % 2 == 0) ? a : b;
+      GcnForwardOptions opts;
+      opts.relu_output = l + 1 < layers;
+      if (l == 0 && reuse_features && t > 0) opts.resident = &resident;
+      gcn_layer_forward(snap, *in, w_cur[l], opts, out, res.gnn_counts);
+      in = &out;
+    }
+    res.seconds.gnn += sw.seconds();
+    res.outputs.push_back(*in);
+    ++res.snapshots_processed;
+  }
+  res.final_hidden = res.outputs.back();
+  return res;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,47 @@
+// EvolveGCN-O (Pareja et al., AAAI'20) — a DGNN that does *not* use a
+// per-vertex RNN: instead, each GCN layer's weight matrix evolves over
+// time through a matrix GRU (every weight column is treated as a GRU
+// hidden state, with the previous weights as input).
+//
+// The paper claims TaGNN "is highly versatile and adaptable to a broad
+// range of DGNN models, including those that do not rely on RNNs";
+// this module provides such a model so the claim can be examined: the
+// similarity-aware cell skipping has no cell to skip here, and because
+// the weights change every snapshot, cross-snapshot GNN output reuse is
+// only valid within a snapshot — the adaptability ablation quantifies
+// what remains of TaGNN's benefit (feature-load deduplication).
+#pragma once
+
+#include "graph/dynamic_graph.hpp"
+#include "nn/engine.hpp"
+#include "nn/weights.hpp"
+
+namespace tagnn {
+
+struct EvolveGcnWeights {
+  ModelConfig config;            // rnn fields unused
+  std::vector<Matrix> gnn0;      // initial per-layer weights
+  // Per-layer matrix-GRU parameters (square, in_dim x in_dim): z/r/n
+  // gates, each with an input (u) and recurrent (v) transform.
+  struct LayerGru {
+    Matrix uz, vz, ur, vr, un, vn;
+  };
+  std::vector<LayerGru> gru;
+
+  static EvolveGcnWeights init(std::size_t layers, std::size_t input_dim,
+                               std::size_t hidden, std::uint64_t seed);
+};
+
+/// Evolves one layer's weights a single time step: W' = GRU(W, W).
+Matrix evolve_weights(const Matrix& w, const EvolveGcnWeights::LayerGru& g,
+                      OpCounts& counts);
+
+/// Runs EvolveGCN-O over the dynamic graph. Final features per snapshot
+/// are the last GCN layer's outputs (no RNN module). `reuse_features`
+/// deduplicates only the *feature loads* of unaffected vertices — the
+/// part of TaGNN's OADL that survives weight evolution.
+EngineResult run_evolve_gcn(const DynamicGraph& g,
+                            const EvolveGcnWeights& weights,
+                            bool reuse_features = true);
+
+}  // namespace tagnn

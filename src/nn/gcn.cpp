@@ -1,0 +1,86 @@
+#include "nn/gcn.hpp"
+
+#include <atomic>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+
+void aggregate_vertex(const Snapshot& snap, const Matrix& h_in, VertexId v,
+                      std::span<float> out) {
+  const std::size_t d = h_in.cols();
+  TAGNN_CHECK(out.size() == d);
+  for (auto& x : out) x = 0.0f;
+  if (!snap.present[v]) return;
+  const auto nbrs = snap.graph.neighbors(v);
+  const auto self = h_in.row(v);
+  for (std::size_t j = 0; j < d; ++j) out[j] = self[j];
+  for (VertexId u : nbrs) {
+    const auto r = h_in.row(u);
+    for (std::size_t j = 0; j < d; ++j) out[j] += r[j];
+  }
+  const float inv = 1.0f / static_cast<float>(nbrs.size() + 1);
+  for (auto& x : out) x *= inv;
+}
+
+void gcn_layer_forward(const Snapshot& snap, const Matrix& h_in,
+                       const Matrix& w, const GcnForwardOptions& opts,
+                       Matrix& h_out, OpCounts& counts) {
+  const VertexId n = snap.num_vertices();
+  TAGNN_CHECK(h_in.rows() == n);
+  TAGNN_CHECK(h_in.cols() == w.rows());
+  const std::size_t d_in = w.rows();
+  const std::size_t d_out = w.cols();
+  if (h_out.rows() != n || h_out.cols() != d_out) {
+    h_out = Matrix(n, d_out);
+  }
+
+  std::atomic<std::size_t> computed{0};
+  std::atomic<std::size_t> edges_touched{0};
+  std::atomic<std::size_t> rows_fetched{0};  // off-chip row gathers
+  parallel_for(0, n, [&](std::size_t v0, std::size_t v1) {
+    std::vector<float> agg(d_in);
+    std::size_t local_computed = 0;
+    std::size_t local_edges = 0;
+    std::size_t local_fetched = 0;
+    for (std::size_t vi = v0; vi < v1; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      if (opts.compute != nullptr && !(*opts.compute)[v]) continue;
+      aggregate_vertex(snap, h_in, v, agg);
+      gemv(agg, w, h_out.row(v));
+      if (opts.relu_output) relu(h_out.row(v));
+      ++local_computed;
+      local_edges += snap.graph.degree(v);
+      if (opts.resident == nullptr) {
+        local_fetched += snap.graph.degree(v) + 1;
+      } else {
+        if (!(*opts.resident)[v]) ++local_fetched;
+        for (VertexId u : snap.graph.neighbors(v)) {
+          if (!(*opts.resident)[u]) ++local_fetched;
+        }
+      }
+    }
+    computed += local_computed;
+    edges_touched += local_edges;
+    rows_fetched += local_fetched;
+  }, /*serial_threshold=*/256);
+
+  const auto nc = static_cast<double>(computed.load());
+  const auto ne = static_cast<double>(edges_touched.load());
+  counts.adds += (ne + nc) * static_cast<double>(d_in);
+  counts.macs += nc * static_cast<double>(d_in) * static_cast<double>(d_out);
+  counts.activations +=
+      opts.relu_output ? nc * static_cast<double>(d_out) : 0.0;
+  counts.feature_bytes +=
+      static_cast<double>(rows_fetched.load()) * static_cast<double>(d_in) *
+      4.0;
+  counts.weight_bytes +=
+      static_cast<double>(d_in) * static_cast<double>(d_out) * 4.0;
+  counts.structure_bytes += ne * 4.0 + nc * 8.0;
+  counts.output_bytes += nc * static_cast<double>(d_out) * 4.0;
+  counts.gnn_vertex_computed += computed.load();
+}
+
+}  // namespace tagnn

@@ -1,0 +1,39 @@
+// GCN layer forward pass (aggregation + combination), with optional
+// per-vertex compute masks so multi-snapshot engines can reuse
+// unchanged outputs across snapshots, and a residency mask so loads of
+// rows already staged on chip (O-CSR single-copy features) are not
+// charged to off-chip traffic again.
+#pragma once
+
+#include <vector>
+
+#include "graph/snapshot.hpp"
+#include "nn/op_counts.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tagnn {
+
+/// Mean-aggregates the closed neighbourhood {v} ∪ N(v) of `v` from
+/// `h_in` rows into `out` (out.size() == h_in.cols()). Absent vertices
+/// aggregate to zero.
+void aggregate_vertex(const Snapshot& snap, const Matrix& h_in, VertexId v,
+                      std::span<float> out);
+
+struct GcnForwardOptions {
+  /// Only vertices with (*compute)[v] == true are produced; other rows
+  /// of h_out are left untouched. nullptr = all vertices.
+  const std::vector<bool>* compute = nullptr;
+  /// Rows already resident on chip: gathers of these rows cost no
+  /// off-chip feature traffic. nullptr = nothing resident.
+  const std::vector<bool>* resident = nullptr;
+  /// Apply ReLU to the layer output (the last layer stays linear).
+  bool relu_output = true;
+};
+
+/// Full GCN layer: h_out(v) = act(mean_{u in {v}∪N(v)} h_in(u) * w).
+/// Counts MACs, adds, and byte traffic into `counts`.
+void gcn_layer_forward(const Snapshot& snap, const Matrix& h_in,
+                       const Matrix& w, const GcnForwardOptions& opts,
+                       Matrix& h_out, OpCounts& counts);
+
+}  // namespace tagnn

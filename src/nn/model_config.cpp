@@ -1,0 +1,35 @@
+#include "nn/model_config.hpp"
+
+#include "common/check.hpp"
+
+namespace tagnn {
+
+ModelConfig ModelConfig::preset(const std::string& name) {
+  ModelConfig c;
+  c.name = name;
+  if (name == "CD-GCN") {
+    c.gnn_layers = 4;
+    c.rnn = RnnKind::kLstm;
+  } else if (name == "GC-LSTM") {
+    c.gnn_layers = 3;
+    c.rnn = RnnKind::kLstm;
+  } else if (name == "T-GCN") {
+    c.gnn_layers = 2;
+    c.rnn = RnnKind::kGru;
+  } else {
+    TAGNN_CHECK_MSG(false, "unknown model preset '" << name << "'");
+  }
+  return c;
+}
+
+const char* const* ModelConfig::preset_names(std::size_t* count) {
+  static const char* names[] = {"CD-GCN", "GC-LSTM", "T-GCN"};
+  *count = 3;
+  return names;
+}
+
+const char* to_string(RnnKind k) {
+  return k == RnnKind::kLstm ? "LSTM" : "GRU";
+}
+
+}  // namespace tagnn

@@ -1,0 +1,33 @@
+// DGNN model zoo configuration. The paper evaluates three GCN-based
+// DGNN models: CD-GCN (4 layers), GC-LSTM (3 layers), and T-GCN
+// (2 layers, GRU-based) — section 5.1.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace tagnn {
+
+enum class RnnKind : int { kLstm, kGru };
+
+struct ModelConfig {
+  std::string name;
+  /// Number of stacked GCN layers in the GNN module.
+  std::size_t gnn_layers = 2;
+  /// Hidden width of every GCN layer output (the Z feature size).
+  std::size_t gnn_hidden = 32;
+  /// RNN cell type and hidden width of the final features H. The RNN
+  /// module carries the dominant MAC share in the paper's models
+  /// (512-dim LSTMs); hidden 64 preserves that balance at our scale.
+  RnnKind rnn = RnnKind::kGru;
+  std::size_t rnn_hidden = 48;
+
+  /// Paper presets; `name` is one of "CD-GCN", "GC-LSTM", "T-GCN".
+  static ModelConfig preset(const std::string& name);
+  /// The three presets in paper order.
+  static const char* const* preset_names(std::size_t* count);
+};
+
+const char* to_string(RnnKind k);
+
+}  // namespace tagnn

@@ -1,0 +1,24 @@
+#include "nn/op_counts.hpp"
+
+namespace tagnn {
+
+OpCounts& OpCounts::operator+=(const OpCounts& o) {
+  macs += o.macs;
+  adds += o.adds;
+  activations += o.activations;
+  feature_bytes += o.feature_bytes;
+  weight_bytes += o.weight_bytes;
+  structure_bytes += o.structure_bytes;
+  output_bytes += o.output_bytes;
+  redundant_bytes += o.redundant_bytes;
+  gnn_vertex_computed += o.gnn_vertex_computed;
+  gnn_vertex_reused += o.gnn_vertex_reused;
+  rnn_full += o.rnn_full;
+  rnn_delta += o.rnn_delta;
+  rnn_skip += o.rnn_skip;
+  similarity_scores += o.similarity_scores;
+  delta_nnz += o.delta_nnz;
+  return *this;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,48 @@
+// Operation and data-movement accounting shared by every engine.
+// These counts are *measured* while the functional code runs; the
+// platform and accelerator models convert them into time and energy.
+#pragma once
+
+#include <cstddef>
+
+namespace tagnn {
+
+struct OpCounts {
+  // Compute.
+  double macs = 0;             // multiply-accumulate operations
+  double adds = 0;             // standalone additions (aggregation trees)
+  double activations = 0;      // non-linearity evaluations
+
+  // Data movement (bytes, as issued to off-chip memory by a system with
+  // only per-vertex buffering; caches/buffers are applied by the
+  // platform models on top of these raw volumes).
+  double feature_bytes = 0;    // vertex feature / hidden-state traffic
+  double weight_bytes = 0;     // model weight traffic
+  double structure_bytes = 0;  // adjacency traffic
+  double output_bytes = 0;     // results written back
+  // Of feature_bytes, how much re-loaded data that was bitwise
+  // identical to an earlier snapshot's load (the paper's "redundant
+  // accesses", Fig. 2(c)).
+  double redundant_bytes = 0;
+
+  // Work-item tallies.
+  std::size_t gnn_vertex_computed = 0;  // per-layer per-snapshot vertex ops
+  std::size_t gnn_vertex_reused = 0;    // skipped via cross-snapshot reuse
+  std::size_t rnn_full = 0;             // full cell updates
+  std::size_t rnn_delta = 0;            // partial (delta) cell updates
+  std::size_t rnn_skip = 0;             // skipped cell updates
+  std::size_t similarity_scores = 0;    // theta evaluations
+  double delta_nnz = 0;                 // non-zero delta elements condensed
+
+  double total_bytes() const {
+    return feature_bytes + weight_bytes + structure_bytes + output_bytes;
+  }
+  double useful_fraction() const {
+    const double t = total_bytes();
+    return t > 0 ? 1.0 - redundant_bytes / t : 1.0;
+  }
+
+  OpCounts& operator+=(const OpCounts& o);
+};
+
+}  // namespace tagnn

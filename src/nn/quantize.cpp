@@ -1,0 +1,96 @@
+#include "nn/quantize.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "nn/engine_detail.hpp"
+#include "nn/gcn.hpp"
+#include "nn/rnn.hpp"
+
+namespace tagnn {
+namespace {
+
+void quantize_matrix(Matrix& m, int bits) {
+  const float scale =
+      quantization_scale({m.data(), m.size()}, bits);
+  fake_quantize({m.data(), m.size()}, scale);
+}
+
+}  // namespace
+
+float quantization_scale(std::span<const float> x, int bits) {
+  TAGNN_CHECK(bits >= 2 && bits <= 24);
+  float max_abs = 0.0f;
+  for (float v : x) max_abs = std::max(max_abs, std::fabs(v));
+  if (max_abs == 0.0f) return 0.0f;
+  const float levels = std::ldexp(1.0f, bits - 1) - 1.0f;  // 2^(b-1)-1
+  return max_abs / levels;
+}
+
+void fake_quantize(std::span<float> x, float scale) {
+  if (scale == 0.0f) return;
+  for (auto& v : x) v = std::round(v / scale) * scale;
+}
+
+DgnnWeights quantize_weights(const DgnnWeights& w, const QuantConfig& cfg) {
+  DgnnWeights q = w;
+  for (auto& layer : q.gnn) quantize_matrix(layer, cfg.weight_bits);
+  quantize_matrix(q.rnn_wx, cfg.weight_bits);
+  quantize_matrix(q.rnn_wh, cfg.weight_bits);
+  quantize_matrix(q.rnn_b, cfg.weight_bits);
+  return q;
+}
+
+EngineResult run_quantized(const DynamicGraph& g, const DgnnWeights& weights,
+                           const QuantConfig& cfg) {
+  const DgnnWeights qw = quantize_weights(weights, cfg);
+  const VertexId n = g.num_vertices();
+  TAGNN_CHECK(g.feature_dim() == qw.gnn.front().rows());
+  const std::size_t layers = qw.config.gnn_layers;
+  const RnnCell cell(qw);
+  detail::RnnState st(n, cell);
+
+  EngineResult res;
+  Matrix a, b, x_q;
+  for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
+    const Snapshot& snap = g.snapshot(t);
+    Stopwatch sw;
+    // Input features quantized at buffer precision.
+    x_q = snap.features;
+    quantize_matrix(x_q, cfg.activation_bits);
+
+    const Matrix* in = &x_q;
+    for (std::size_t l = 0; l < layers; ++l) {
+      Matrix& out = (l % 2 == 0) ? a : b;
+      GcnForwardOptions opts;
+      opts.relu_output = l + 1 < layers;
+      gcn_layer_forward(snap, *in, qw.gnn[l], opts, out, res.gnn_counts);
+      quantize_matrix(out, cfg.activation_bits);  // layer output buffer
+      in = &out;
+    }
+    const Matrix& z = *in;
+    res.seconds.gnn += sw.seconds();
+
+    sw.reset();
+    detail::parallel_vertices(
+        n,
+        [&](VertexId v, OpCounts& counts) {
+          if (!snap.present[v]) return;
+          cell.full_update(z.row(v), st.h.row(v), st.c.row(v), st.h.row(v),
+                           st.c.row(v), st.cache.row(v), counts);
+        },
+        res.rnn_counts);
+    // Hidden state lives in the intermediate buffer at activation
+    // precision.
+    quantize_matrix(st.h, cfg.activation_bits);
+    res.seconds.rnn += sw.seconds();
+
+    res.outputs.push_back(st.h);
+    ++res.snapshots_processed;
+  }
+  res.final_hidden = st.h;
+  return res;
+}
+
+}  // namespace tagnn

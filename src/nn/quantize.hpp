@@ -1,0 +1,40 @@
+// Reduced-precision inference (the FPGA datapath).
+//
+// TaGNN's CPEs/APEs are fixed-point/fp16 MAC arrays, not fp32 FPUs.
+// This module provides symmetric per-tensor fake quantization and a
+// quantized inference runner so the accuracy cost of the hardware
+// datapath can be measured: weights are quantized once, features and
+// every intermediate (GNN outputs, hidden states) are re-quantized at
+// the precision of the buffer they pass through.
+#pragma once
+
+#include <span>
+
+#include "nn/engine.hpp"
+
+namespace tagnn {
+
+struct QuantConfig {
+  /// Bit width of feature/activation values (incl. sign).
+  int activation_bits = 8;
+  /// Bit width of weights (incl. sign).
+  int weight_bits = 8;
+};
+
+/// Symmetric per-tensor scale: max|x| maps to the largest code.
+/// Returns 0 when the tensor is all zeros (nothing to quantize).
+float quantization_scale(std::span<const float> x, int bits);
+
+/// Fake-quantizes in place with the given scale (no-op if scale == 0).
+void fake_quantize(std::span<float> x, float scale);
+
+/// Quantizes every weight tensor of a model (per-tensor scales).
+DgnnWeights quantize_weights(const DgnnWeights& w, const QuantConfig& cfg);
+
+/// Runs reference-style DGNN inference with a quantized datapath:
+/// quantized weights, inputs quantized per snapshot, GNN outputs and
+/// hidden states re-quantized after every stage.
+EngineResult run_quantized(const DynamicGraph& g, const DgnnWeights& weights,
+                           const QuantConfig& cfg);
+
+}  // namespace tagnn

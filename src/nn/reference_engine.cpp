@@ -1,0 +1,74 @@
+// Snapshot-by-snapshot DGNN inference — the execution pattern of the
+// baseline software frameworks (paper section 2.2).
+#include "common/stopwatch.hpp"
+#include "nn/engine.hpp"
+#include "nn/engine_detail.hpp"
+#include "nn/gcn.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+
+EngineResult ReferenceEngine::run(const DynamicGraph& g,
+                                  const DgnnWeights& weights) const {
+  const VertexId n = g.num_vertices();
+  TAGNN_CHECK(g.feature_dim() == weights.gnn.front().rows());
+  const std::size_t layers = weights.config.gnn_layers;
+  const RnnCell cell(weights);
+  detail::RnnState st(n, cell);
+
+  EngineResult res;
+  // Previous snapshot's per-layer inputs, for redundancy analysis.
+  std::vector<Matrix> prev_inputs(layers);
+  Matrix a, b;  // layer ping-pong buffers
+
+  for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
+    const Snapshot& snap = g.snapshot(t);
+
+    Stopwatch sw;
+    const Matrix* in = &snap.features;
+    for (std::size_t l = 0; l < layers; ++l) {
+      Matrix& out = (l % 2 == 0) ? a : b;
+      GcnForwardOptions opts;
+      opts.relu_output = l + 1 < layers;  // last GNN layer stays linear
+      gcn_layer_forward(snap, *in, weights.gnn[l], opts, out,
+                        res.gnn_counts);
+      if (opts_.count_redundancy) {
+        // A gather at layer l reads rows of `in`; compare with the same
+        // rows at the previous snapshot.
+        std::vector<bool> unchanged;
+        const std::vector<bool>* mask = nullptr;
+        if (t > 0) {
+          unchanged = detail::rows_equal_mask(*in, prev_inputs[l]);
+          mask = &unchanged;
+        }
+        detail::count_gather_redundancy(snap, nullptr, mask, in->cols(),
+                                        res.gnn_counts);
+        prev_inputs[l] = *in;
+      }
+      in = &out;
+    }
+    const Matrix& z = *in;
+    res.seconds.gnn += sw.seconds();
+
+    sw.reset();
+    detail::parallel_vertices(
+        n,
+        [&](VertexId v, OpCounts& counts) {
+          if (!snap.present[v]) return;  // absent: state carried over
+          cell.full_update(z.row(v), st.h.row(v), st.c.row(v), st.h.row(v),
+                           st.c.row(v), st.cache.row(v), counts);
+        },
+        res.rnn_counts);
+    // Gate matrices loaded once per snapshot.
+    res.rnn_counts.weight_bytes +=
+        static_cast<double>(weights.rnn_param_count()) * 4.0;
+    res.seconds.rnn += sw.seconds();
+
+    if (opts_.store_outputs) res.outputs.push_back(st.h);
+    ++res.snapshots_processed;
+  }
+  res.final_hidden = st.h;
+  return res;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,177 @@
+#include "nn/rnn.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace tagnn {
+namespace {
+
+float sigmoid1(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+RnnCell::RnnCell(const DgnnWeights& weights)
+    : w_(weights),
+      kind_(weights.config.rnn),
+      dz_(weights.rnn_wx.rows()),
+      h_(weights.config.rnn_hidden),
+      gates_(weights.gates()) {
+  TAGNN_CHECK(w_.rnn_wx.cols() == gates_ * h_);
+  TAGNN_CHECK(w_.rnn_wh.rows() == h_ && w_.rnn_wh.cols() == gates_ * h_);
+}
+
+std::size_t RnnCell::cache_dim() const {
+  return kind_ == RnnKind::kLstm ? 4 * h_ : 6 * h_;
+}
+
+std::size_t RnnCell::cell_state_dim() const {
+  return kind_ == RnnKind::kLstm ? h_ : 0;
+}
+
+void RnnCell::derive_outputs(std::span<const float> h_prev,
+                             std::span<const float> c_prev,
+                             std::span<const float> cache,
+                             std::span<float> h_out,
+                             std::span<float> c_out) const {
+  if (kind_ == RnnKind::kLstm) {
+    // cache = [i | f | g | o] pre-activations (x-part + h-part + bias).
+    for (std::size_t j = 0; j < h_; ++j) {
+      const float i = sigmoid1(cache[j]);
+      const float f = sigmoid1(cache[h_ + j]);
+      const float g = std::tanh(cache[2 * h_ + j]);
+      const float o = sigmoid1(cache[3 * h_ + j]);
+      const float c = f * c_prev[j] + i * g;
+      c_out[j] = c;
+      h_out[j] = o * std::tanh(c);
+    }
+  } else {
+    // cache = [x-part(z r n) | h-part(z r n)].
+    const std::size_t xo = 0, ho = 3 * h_;
+    for (std::size_t j = 0; j < h_; ++j) {
+      const float z = sigmoid1(cache[xo + j] + cache[ho + j]);
+      const float r = sigmoid1(cache[xo + h_ + j] + cache[ho + h_ + j]);
+      const float n =
+          std::tanh(cache[xo + 2 * h_ + j] + r * cache[ho + 2 * h_ + j]);
+      h_out[j] = (1.0f - z) * h_prev[j] + z * n;
+    }
+  }
+}
+
+void RnnCell::full_update(std::span<const float> x,
+                          std::span<const float> h_prev,
+                          std::span<const float> c_prev,
+                          std::span<float> h_out, std::span<float> c_out,
+                          std::span<float> cache, OpCounts& counts) const {
+  TAGNN_CHECK(x.size() == dz_ && h_prev.size() == h_);
+  TAGNN_CHECK(cache.size() == cache_dim());
+  const std::size_t gh = gates_ * h_;
+  std::vector<float> xpart(gh), hpart(gh);
+  // x-part: x * Wx + b.
+  for (std::size_t j = 0; j < gh; ++j) xpart[j] = w_.rnn_b(0, j);
+  for (std::size_t i = 0; i < dz_; ++i) {
+    const float xi = x[i];
+    if (xi == 0.0f) continue;
+    const float* row = w_.rnn_wx.data() + i * gh;
+    for (std::size_t j = 0; j < gh; ++j) xpart[j] += xi * row[j];
+  }
+  // h-part: h_prev * Wh.
+  for (std::size_t j = 0; j < gh; ++j) hpart[j] = 0.0f;
+  for (std::size_t i = 0; i < h_; ++i) {
+    const float hi = h_prev[i];
+    if (hi == 0.0f) continue;
+    const float* row = w_.rnn_wh.data() + i * gh;
+    for (std::size_t j = 0; j < gh; ++j) hpart[j] += hi * row[j];
+  }
+
+  if (kind_ == RnnKind::kLstm) {
+    for (std::size_t j = 0; j < gh; ++j) cache[j] = xpart[j] + hpart[j];
+  } else {
+    for (std::size_t j = 0; j < gh; ++j) {
+      cache[j] = xpart[j];
+      cache[gh + j] = hpart[j];
+    }
+  }
+  derive_outputs(h_prev, c_prev, cache, h_out, c_out);
+
+  counts.macs += full_update_macs();
+  counts.activations += static_cast<double>(gh + h_);
+  counts.feature_bytes += static_cast<double>(dz_ + h_) * 4.0;
+  // Weight traffic is charged once per snapshot by the engine (the gate
+  // matrices fit in on-chip/SRAM working sets), not per vertex.
+  counts.output_bytes += static_cast<double>(h_ + cell_state_dim()) * 4.0;
+  ++counts.rnn_full;
+}
+
+void RnnCell::delta_update(std::span<const float> dx,
+                           std::span<const float> dh,
+                           std::span<const float> h_prev,
+                           std::span<const float> c_prev,
+                           std::span<float> h_out, std::span<float> c_out,
+                           std::span<float> cache, OpCounts& counts) const {
+  TAGNN_CHECK(dx.size() == dz_ && dh.size() == h_);
+  TAGNN_CHECK(cache.size() == cache_dim());
+  const std::size_t gh = gates_ * h_;
+  // Condensed non-zero input-delta columns update the x-part in place.
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < dz_; ++i) {
+    const float di = dx[i];
+    if (di == 0.0f) continue;
+    ++nnz;
+    const float* row = w_.rnn_wx.data() + i * gh;
+    for (std::size_t j = 0; j < gh; ++j) cache[j] += di * row[j];
+  }
+  // Condensed recurrent-delta columns refresh the h-part (for the LSTM
+  // the x- and h-parts share one combined pre-activation vector; the
+  // GRU keeps the h-part in the upper half of the cache).
+  float* hpart = kind_ == RnnKind::kLstm ? cache.data() : cache.data() + gh;
+  for (std::size_t i = 0; i < h_; ++i) {
+    const float di = dh[i];
+    if (di == 0.0f) continue;
+    ++nnz;
+    const float* row = w_.rnn_wh.data() + i * gh;
+    for (std::size_t j = 0; j < gh; ++j) hpart[j] += di * row[j];
+  }
+  derive_outputs(h_prev, c_prev, cache, h_out, c_out);
+
+  counts.macs += static_cast<double>(nnz * gh);
+  counts.activations += static_cast<double>(gh + h_);
+  counts.feature_bytes += static_cast<double>(nnz + h_) * 4.0;
+  counts.output_bytes += static_cast<double>(h_ + cell_state_dim()) * 4.0;
+  counts.delta_nnz += static_cast<double>(nnz);
+  ++counts.rnn_delta;
+}
+
+void RnnCell::delta_update(const CondensedVector& dx,
+                           const CondensedVector& dh,
+                           std::span<const float> h_prev,
+                           std::span<const float> c_prev,
+                           std::span<float> h_out, std::span<float> c_out,
+                           std::span<float> cache, OpCounts& counts) const {
+  TAGNN_CHECK(dx.dim == dz_ && dh.dim == h_);
+  TAGNN_CHECK(cache.size() == cache_dim());
+  const std::size_t gh = gates_ * h_;
+  for (std::size_t i = 0; i < dx.values.size(); ++i) {
+    const float* row = w_.rnn_wx.data() + dx.addresses[i] * gh;
+    const float di = dx.values[i];
+    for (std::size_t j = 0; j < gh; ++j) cache[j] += di * row[j];
+  }
+  float* hpart = kind_ == RnnKind::kLstm ? cache.data() : cache.data() + gh;
+  for (std::size_t i = 0; i < dh.values.size(); ++i) {
+    const float* row = w_.rnn_wh.data() + dh.addresses[i] * gh;
+    const float di = dh.values[i];
+    for (std::size_t j = 0; j < gh; ++j) hpart[j] += di * row[j];
+  }
+  derive_outputs(h_prev, c_prev, cache, h_out, c_out);
+
+  const std::size_t nnz = dx.nnz() + dh.nnz();
+  counts.macs += static_cast<double>(nnz * gh);
+  counts.activations += static_cast<double>(gh + h_);
+  counts.feature_bytes += static_cast<double>(nnz + h_) * 4.0;
+  counts.output_bytes += static_cast<double>(h_ + cell_state_dim()) * 4.0;
+  counts.delta_nnz += static_cast<double>(nnz);
+  ++counts.rnn_delta;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,81 @@
+// RNN cells (LSTM and GRU) with full and delta update paths.
+//
+// The delta path implements the paper's "similarity computation mode":
+// when a vertex's GNN output barely changed between snapshots, only the
+// non-zero input delta is pushed through the input-to-hidden weights,
+// reusing the cached gate pre-activations (the recurrent contribution
+// is carried over — valid exactly when the final features are similar,
+// which is what the similarity score guarantees).
+#pragma once
+
+#include <span>
+
+#include "nn/condense.hpp"
+
+#include "nn/op_counts.hpp"
+#include "nn/weights.hpp"
+
+namespace tagnn {
+
+class RnnCell {
+ public:
+  explicit RnnCell(const DgnnWeights& weights);
+
+  std::size_t hidden() const { return h_; }
+  std::size_t input_dim() const { return dz_; }
+  RnnKind kind() const { return kind_; }
+
+  /// Per-vertex scratch the engine must persist between snapshots for
+  /// the delta path: LSTM caches the combined gate pre-activations
+  /// (4H); GRU caches the x-part and h-part separately (3H + 3H).
+  std::size_t cache_dim() const;
+  /// Cell state width: H for LSTM (the c vector); 0 for GRU.
+  std::size_t cell_state_dim() const;
+
+  /// Full update. Inputs: x (input_dim), h_prev (H), c_prev
+  /// (cell_state_dim, may be empty for GRU). Outputs: h (H), c
+  /// (cell_state_dim), cache (cache_dim).
+  void full_update(std::span<const float> x, std::span<const float> h_prev,
+                   std::span<const float> c_prev, std::span<float> h_out,
+                   std::span<float> c_out, std::span<float> cache,
+                   OpCounts& counts) const;
+
+  /// Delta update (DeltaRNN-style): folds the sparse input delta `dx`
+  /// and the sparse recurrent delta `dh` (drift of h since the last
+  /// update that refreshed the cache) into the cached pre-activations
+  /// and re-derives h/c. Both vectors are dense with zeros marking
+  /// unchanged components. `cache` is updated in place.
+  void delta_update(std::span<const float> dx, std::span<const float> dh,
+                    std::span<const float> h_prev,
+                    std::span<const float> c_prev, std::span<float> h_out,
+                    std::span<float> c_out, std::span<float> cache,
+                    OpCounts& counts) const;
+
+  /// Sparse variant: consumes Condense Unit outputs directly (packed
+  /// non-zero values + addresses), exactly as the hardware does.
+  /// Numerically identical to the dense variant (tested).
+  void delta_update(const CondensedVector& dx, const CondensedVector& dh,
+                    std::span<const float> h_prev,
+                    std::span<const float> c_prev, std::span<float> h_out,
+                    std::span<float> c_out, std::span<float> cache,
+                    OpCounts& counts) const;
+
+  /// MACs of one full update (for cost models).
+  double full_update_macs() const {
+    return static_cast<double>((dz_ + h_) * gates_ * h_);
+  }
+
+ private:
+  void derive_outputs(std::span<const float> h_prev,
+                      std::span<const float> c_prev,
+                      std::span<const float> cache, std::span<float> h_out,
+                      std::span<float> c_out) const;
+
+  const DgnnWeights& w_;
+  RnnKind kind_;
+  std::size_t dz_;
+  std::size_t h_;
+  std::size_t gates_;
+};
+
+}  // namespace tagnn

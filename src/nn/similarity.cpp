@@ -1,0 +1,47 @@
+#include "nn/similarity.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+
+float similarity_score(std::span<const float> z_prev,
+                       std::span<const float> z_cur,
+                       std::span<const VertexId> n_prev,
+                       std::span<const VertexId> n_cur,
+                       std::span<const VertexClass> clazz,
+                       OpCounts* counts) {
+  const float cos = cosine_similarity(z_prev, z_cur);
+
+  // Merge-walk the sorted neighbour lists for |common| and |stable ∩ common|.
+  std::size_t common = 0;
+  std::size_t stable_common = 0;
+  std::size_t i = 0, j = 0;
+  while (i < n_prev.size() && j < n_cur.size()) {
+    if (n_prev[i] < n_cur[j]) {
+      ++i;
+    } else if (n_cur[j] < n_prev[i]) {
+      ++j;
+    } else {
+      ++common;
+      if (clazz[n_prev[i]] != VertexClass::kAffected) ++stable_common;
+      ++i;
+      ++j;
+    }
+  }
+
+  float ratio;
+  if (common == 0) {
+    ratio = (n_prev.empty() && n_cur.empty()) ? 1.0f : 0.0f;
+  } else {
+    ratio = static_cast<float>(stable_common) / static_cast<float>(common);
+  }
+
+  if (counts != nullptr) {
+    ++counts->similarity_scores;
+    counts->macs += 3.0 * static_cast<double>(z_prev.size());  // dot + norms
+    counts->adds += static_cast<double>(n_prev.size() + n_cur.size());
+  }
+  return cos * ratio;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,32 @@
+// Similarity score θ (paper section 3.1):
+//
+//   θ(Z^t(v), Z^{t+1}(v)) = cos(Z^t(v), Z^{t+1}(v))
+//                         * |N_sv(v)| / |N^t(v) ∩ N^{t+1}(v)|
+//
+// where N_sv is the set of non-affected (stable or unaffected) vertices
+// among the common neighbours. The score combines feature similarity,
+// topological overlap, and local stability into [-1, 1].
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "nn/op_counts.hpp"
+
+namespace tagnn {
+
+/// Computes θ for a vertex whose GNN outputs at two consecutive
+/// snapshots are `z_prev` / `z_cur`, with sorted neighbour lists
+/// `n_prev` / `n_cur` and the window vertex classification `clazz`.
+///
+/// Degenerate neighbourhoods: if both snapshots have no common
+/// neighbour, the stability ratio is 1 when both lists are empty
+/// (nothing changed topologically) and 0 otherwise (complete turnover).
+float similarity_score(std::span<const float> z_prev,
+                       std::span<const float> z_cur,
+                       std::span<const VertexId> n_prev,
+                       std::span<const VertexId> n_cur,
+                       std::span<const VertexClass> clazz,
+                       OpCounts* counts = nullptr);
+
+}  // namespace tagnn

@@ -1,0 +1,48 @@
+#include "nn/streaming.hpp"
+
+#include "common/check.hpp"
+
+namespace tagnn {
+
+StreamingInference::StreamingInference(const DgnnWeights& weights,
+                                       EngineOptions opts)
+    : weights_(weights), opts_(opts) {
+  TAGNN_CHECK(opts_.window_size >= 1);
+}
+
+std::vector<Matrix> StreamingInference::process_buffer() {
+  if (buffer_.empty()) return {};
+  DynamicGraph window("stream-window", std::move(buffer_));
+  buffer_.clear();
+  const EngineResult r =
+      ConcurrentEngine(opts_).run(window, weights_, &carry_);
+  counts_ += r.load_counts;
+  counts_ += r.gnn_counts;
+  counts_ += r.rnn_counts;
+  processed_ += r.snapshots_processed;
+  return r.outputs;
+}
+
+std::vector<Matrix> StreamingInference::push(Snapshot snapshot) {
+  TAGNN_CHECK_MSG(
+      seen_ == 0 || snapshot.num_vertices() ==
+                        static_cast<VertexId>(carry_.z_applied.rows()) ||
+          carry_.z_applied.rows() == 0 || !buffer_.empty(),
+      "snapshot shape must stay constant across the stream");
+  if (!buffer_.empty()) {
+    TAGNN_CHECK_MSG(
+        snapshot.num_vertices() == buffer_.front().num_vertices() &&
+            snapshot.feature_dim() == buffer_.front().feature_dim(),
+        "snapshot shape must stay constant across the stream");
+  }
+  buffer_.push_back(std::move(snapshot));
+  ++seen_;
+  if (buffer_.size() >= opts_.window_size) {
+    return process_buffer();
+  }
+  return {};
+}
+
+std::vector<Matrix> StreamingInference::flush() { return process_buffer(); }
+
+}  // namespace tagnn

@@ -1,0 +1,57 @@
+// Streaming DGNN inference.
+//
+// The batch engines take a complete DynamicGraph; real deployments see
+// snapshots arrive one at a time. StreamingInference buffers incoming
+// snapshots and, every time a full window accumulates, runs the
+// topology-aware concurrent engine over that window, carrying the RNN
+// and skip-policy state across windows via StreamCarry. Results are
+// bit-identical to one batch ConcurrentEngine run over the whole trace
+// (tested), but memory is bounded: only the current window's snapshots
+// are retained.
+#pragma once
+
+#include <vector>
+
+#include "nn/engine.hpp"
+
+namespace tagnn {
+
+class StreamingInference {
+ public:
+  /// `opts.window_size` controls the batch length. The weights
+  /// reference must outlive this object.
+  StreamingInference(const DgnnWeights& weights, EngineOptions opts = {});
+
+  /// Feeds one snapshot. When this completes a window, the window is
+  /// processed and the final features of its snapshots are returned
+  /// (empty while the window is still filling, or when
+  /// opts.store_outputs is false).
+  std::vector<Matrix> push(Snapshot snapshot);
+
+  /// Processes whatever partial window is buffered (call at
+  /// end-of-stream). Returns that window's outputs.
+  std::vector<Matrix> flush();
+
+  /// Final features after the last processed snapshot (empty before
+  /// anything was processed).
+  const Matrix& state() const { return carry_.h; }
+
+  std::size_t snapshots_seen() const { return seen_; }
+  std::size_t snapshots_processed() const { return processed_; }
+
+  /// Accumulated work/traffic tallies across all processed windows.
+  const OpCounts& total_counts() const { return counts_; }
+
+ private:
+  std::vector<Matrix> process_buffer();
+
+  const DgnnWeights& weights_;
+  EngineOptions opts_;
+  std::vector<Snapshot> buffer_;
+  StreamCarry carry_;
+  std::size_t seen_ = 0;
+  std::size_t processed_ = 0;
+  OpCounts counts_;
+};
+
+}  // namespace tagnn

@@ -1,0 +1,42 @@
+// Model weights, deterministically initialised from a seed. We cannot
+// train offline, so all experiments run with fixed random weights; the
+// accuracy study (Table 5) calibrates a synthetic task on top (see
+// nn/accuracy.hpp and DESIGN.md "Substitutions").
+#pragma once
+
+#include <vector>
+
+#include "nn/model_config.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tagnn {
+
+struct DgnnWeights {
+  ModelConfig config;
+  /// gnn[l]: (in_dim x gnn_hidden); layer 0 in_dim = dataset feature dim.
+  std::vector<Matrix> gnn;
+  /// RNN input-to-hidden: (gnn_hidden x G*rnn_hidden) where G = 4 gates
+  /// for LSTM (i, f, g, o) or 3 for GRU (z, r, n).
+  Matrix rnn_wx;
+  /// RNN hidden-to-hidden: (rnn_hidden x G*rnn_hidden).
+  Matrix rnn_wh;
+  /// RNN bias: (1 x G*rnn_hidden).
+  Matrix rnn_b;
+
+  std::size_t gates() const {
+    return config.rnn == RnnKind::kLstm ? 4u : 3u;
+  }
+  std::size_t rnn_param_count() const {
+    return rnn_wx.size() + rnn_wh.size() + rnn_b.size();
+  }
+  std::size_t gnn_param_count() const {
+    std::size_t n = 0;
+    for (const auto& w : gnn) n += w.size();
+    return n;
+  }
+
+  static DgnnWeights init(const ModelConfig& config, std::size_t input_dim,
+                          std::uint64_t seed);
+};
+
+}  // namespace tagnn

@@ -1,0 +1,77 @@
+// Ping-pong (double) buffer model.
+//
+// The paper: "TaGNN employs ping-pong buffering technology to decouple
+// different operations across all buffers, thereby mitigating access
+// latency." This models a two-bank buffer where a producer fills one
+// bank while a consumer drains the other; swap() flips the roles and
+// stalls are recorded whenever one side outpaces the other.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace tagnn {
+
+class PingPongBuffer {
+ public:
+  /// `bank_bytes` is the capacity of each of the two banks.
+  explicit PingPongBuffer(std::size_t bank_bytes) : bank_bytes_(bank_bytes) {
+    TAGNN_CHECK(bank_bytes_ > 0);
+  }
+
+  std::size_t bank_bytes() const { return bank_bytes_; }
+
+  /// Producer writes into the fill bank. Returns the bytes accepted
+  /// (possibly fewer than requested when the bank runs full).
+  std::size_t produce(std::size_t bytes) {
+    const std::size_t room = bank_bytes_ - fill_level_;
+    const std::size_t take = bytes < room ? bytes : room;
+    fill_level_ += take;
+    produced_ += take;
+    if (take < bytes) ++producer_stalls_;
+    return take;
+  }
+
+  /// Consumer reads from the drain bank. Returns the bytes delivered.
+  std::size_t consume(std::size_t bytes) {
+    const std::size_t take = bytes < drain_level_ ? bytes : drain_level_;
+    drain_level_ -= take;
+    consumed_ += take;
+    if (take < bytes) ++consumer_stalls_;
+    return take;
+  }
+
+  /// Flips the banks: the filled bank becomes drainable. A swap while
+  /// the drain bank still holds data counts as a consumer overrun (the
+  /// residue is dropped to model a flush) and is reported.
+  void swap() {
+    if (drain_level_ > 0) ++overruns_;
+    drain_level_ = fill_level_;
+    fill_level_ = 0;
+    ++swaps_;
+  }
+
+  std::size_t fill_level() const { return fill_level_; }
+  std::size_t drain_level() const { return drain_level_; }
+  std::size_t producer_stalls() const { return producer_stalls_; }
+  std::size_t consumer_stalls() const { return consumer_stalls_; }
+  std::size_t overruns() const { return overruns_; }
+  std::size_t swaps() const { return swaps_; }
+  std::size_t total_produced() const { return produced_; }
+  std::size_t total_consumed() const { return consumed_; }
+
+ private:
+  std::size_t bank_bytes_;
+  std::size_t fill_level_ = 0;
+  std::size_t drain_level_ = 0;
+  std::size_t produced_ = 0;
+  std::size_t consumed_ = 0;
+  std::size_t producer_stalls_ = 0;
+  std::size_t consumer_stalls_ = 0;
+  std::size_t overruns_ = 0;
+  std::size_t swaps_ = 0;
+};
+
+}  // namespace tagnn

@@ -1,0 +1,20 @@
+#include "sim/energy.hpp"
+
+namespace tagnn {
+
+EnergyBreakdown EnergyModel::energy(const OpCounts& counts, double seconds,
+                                    double sram_bytes) const {
+  EnergyBreakdown e;
+  e.compute_j = (counts.macs * cfg_.pj_per_mac +
+                 counts.adds * cfg_.pj_per_add +
+                 counts.activations * cfg_.pj_per_activation) *
+                1e-12;
+  const double dram_bytes = counts.total_bytes();
+  if (sram_bytes < 0) sram_bytes = 2.0 * dram_bytes;
+  e.sram_j = sram_bytes * cfg_.pj_per_sram_byte * 1e-12;
+  e.dram_j = dram_bytes * cfg_.pj_per_dram_byte * 1e-12;
+  e.static_j = cfg_.static_watts * seconds;
+  return e;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,47 @@
+// Energy model for the simulated accelerators.
+//
+// Dynamic energy uses per-operation / per-byte constants in the range
+// published for 16 nm-class FPGA/ASIC datapaths (Horowitz ISSCC'14
+// scaled); static energy is leakage+clock power times runtime. CPU/GPU
+// baselines instead use board power x modelled runtime (what the paper
+// measures via RAPL / nvidia-smi).
+#pragma once
+
+#include "nn/op_counts.hpp"
+
+namespace tagnn {
+
+struct EnergyConfig {
+  double pj_per_mac = 1.2;        // fp16/int16 MAC incl. local regs
+  double pj_per_add = 0.4;        // adder-tree add
+  double pj_per_activation = 2.0; // LUT-based nonlinearity
+  double pj_per_sram_byte = 0.8;  // BRAM/URAM access
+  double pj_per_dram_byte = 62.5; // HBM2 ~500 pJ/bit-row... per byte
+  double static_watts = 8.0;      // leakage + clocking of the chip
+};
+
+struct EnergyBreakdown {
+  double compute_j = 0;
+  double sram_j = 0;
+  double dram_j = 0;
+  double static_j = 0;
+  double total() const { return compute_j + sram_j + dram_j + static_j; }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Energy for the given operation tallies over `seconds` of runtime.
+  /// `sram_bytes`: on-chip buffer traffic (defaults to 2x the DRAM
+  /// traffic when negative — every off-chip byte is staged + drained).
+  EnergyBreakdown energy(const OpCounts& counts, double seconds,
+                         double sram_bytes = -1.0) const;
+
+  const EnergyConfig& config() const { return cfg_; }
+
+ private:
+  EnergyConfig cfg_;
+};
+
+}  // namespace tagnn

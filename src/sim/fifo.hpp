@@ -1,0 +1,55 @@
+// Bounded FIFO used by the accelerator models (Task FIFO, AS FIFO).
+// Tracks high-water occupancy so buffer sizing can be validated against
+// the Table 4 capacities.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace tagnn {
+
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity) : capacity_(capacity) {
+    TAGNN_CHECK(capacity_ > 0);
+  }
+
+  bool full() const { return q_.size() >= capacity_; }
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t total_pushed() const { return pushed_; }
+
+  /// Returns false (and drops nothing) when full.
+  bool push(T v) {
+    if (full()) return false;
+    q_.push_back(std::move(v));
+    ++pushed_;
+    if (q_.size() > high_water_) high_water_ = q_.size();
+    return true;
+  }
+
+  T pop() {
+    TAGNN_CHECK(!q_.empty());
+    T v = std::move(q_.front());
+    q_.pop_front();
+    return v;
+  }
+
+  const T& front() const {
+    TAGNN_CHECK(!q_.empty());
+    return q_.front();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> q_;
+  std::size_t high_water_ = 0;
+  std::size_t pushed_ = 0;
+};
+
+}  // namespace tagnn

@@ -1,0 +1,63 @@
+// Off-chip (HBM) memory service model.
+//
+// Transfers are characterised by volume and a sequential fraction:
+// sequential bytes stream at full channel bandwidth, random accesses
+// pay a row-granularity penalty (a 32-byte useful beat costs a 64-byte
+// burst, ~0.5 efficiency). Latency is absorbed by deep pipelining and
+// only charged once per burst train.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tagnn {
+
+struct HbmConfig {
+  double bandwidth_gbps = 256.0;  // Table 4: 256 GB/s HBM 2.0 (total)
+  double random_efficiency = 0.5; // fraction of peak for scattered beats
+  double latency_ns = 120.0;      // first-access latency per burst train
+  double clock_mhz = 225.0;       // consumer clock for cycle conversion
+  /// Pseudo-channels the total bandwidth is striped across (the U280
+  /// exposes 32; 8 are wired to the loader in this design). Interleaved
+  /// transfers use every channel; a transfer pinned to one channel is
+  /// limited to bandwidth_gbps / channels.
+  std::size_t channels = 8;
+};
+
+class HbmModel {
+ public:
+  explicit HbmModel(HbmConfig cfg = {}) : cfg_(cfg) {}
+
+  const HbmConfig& config() const { return cfg_; }
+
+  /// Cycles (at cfg.clock_mhz) to move `bytes` with the given
+  /// sequential fraction, striped across all channels. Accumulates
+  /// totals and per-channel byte counters (round-robin interleave).
+  Cycle transfer(double bytes, double sequential_fraction);
+
+  /// Same, but pinned to a single pseudo-channel (models a unit with a
+  /// private AXI port): throughput is 1/channels of the stack.
+  Cycle transfer_on_channel(std::size_t channel, double bytes,
+                            double sequential_fraction);
+
+  /// Bytes moved through one channel so far.
+  double channel_bytes(std::size_t channel) const;
+  /// max/mean per-channel load (1.0 = perfectly balanced).
+  double channel_imbalance() const;
+
+  /// Effective bytes/cycle at the consumer clock for a given pattern.
+  double bytes_per_cycle(double sequential_fraction) const;
+
+  double total_bytes() const { return total_bytes_; }
+  Cycle total_cycles() const { return total_cycles_; }
+
+ private:
+  HbmConfig cfg_;
+  double total_bytes_ = 0;
+  Cycle total_cycles_ = 0;
+  std::vector<double> channel_bytes_;
+};
+
+}  // namespace tagnn

@@ -1,0 +1,42 @@
+#include "sim/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace tagnn {
+
+PipelineSim::PipelineSim(std::vector<std::string> stage_names)
+    : names_(std::move(stage_names)),
+      done_(names_.size(), 0),
+      busy_(names_.size(), 0) {
+  TAGNN_CHECK(!names_.empty());
+}
+
+void PipelineSim::feed(const std::vector<Cycle>& lat) {
+  TAGNN_CHECK_MSG(lat.size() == names_.size(),
+                  "latency vector arity " << lat.size() << " vs "
+                                          << names_.size() << " stages");
+  Cycle prev_stage_done = 0;
+  for (std::size_t s = 0; s < names_.size(); ++s) {
+    const Cycle l = std::max<Cycle>(1, lat[s]);
+    const Cycle start = std::max(prev_stage_done, done_[s]);
+    done_[s] = start + l;
+    busy_[s] += l;
+    prev_stage_done = done_[s];
+  }
+  ++items_;
+}
+
+Cycle PipelineSim::total_cycles() const {
+  return done_.empty() ? 0 : done_.back();
+}
+
+double PipelineSim::bottleneck_utilization() const {
+  const Cycle total = total_cycles();
+  if (total == 0) return 0.0;
+  const Cycle worst = *std::max_element(busy_.begin(), busy_.end());
+  return static_cast<double>(worst) / static_cast<double>(total);
+}
+
+}  // namespace tagnn

@@ -1,0 +1,53 @@
+// Top-level TaGNN accelerator simulator.
+//
+// Functional behaviour (final features, skip decisions, operation and
+// byte tallies) comes from the topology-aware ConcurrentEngine — the
+// accelerator computes the *same numbers* a bitstream would. Timing and
+// energy come from the component cycle models: MSDL pipelines, the
+// degree-balanced Task Dispatcher feeding the DCUs (CPE/APE arrays),
+// the Adaptive RNN Unit (SCU + Condense + Activation), and the HBM
+// service model; dataflow units overlap, so a window's latency is the
+// bottleneck unit plus a small imperfect-overlap term.
+#pragma once
+
+#include "nn/engine.hpp"
+#include "sim/energy.hpp"
+#include "tagnn/config.hpp"
+
+namespace tagnn {
+
+struct AccelCycles {
+  Cycle msdl = 0;      // loader pipelines (classification + traversal)
+  Cycle gnn = 0;       // DCU aggregation/combination makespans
+  Cycle rnn = 0;       // SCU + cell updates
+  Cycle memory = 0;    // HBM service
+  Cycle total = 0;     // overlapped end-to-end
+
+  Cycle compute() const { return gnn + rnn; }
+};
+
+struct AccelResult {
+  /// Functional results + measured op/byte tallies.
+  EngineResult functional;
+  AccelCycles cycles;
+  double seconds = 0;           // cycles.total / clock
+  EnergyBreakdown energy;
+  double dram_bytes = 0;        // total off-chip traffic
+  double dcu_utilization = 0;   // work / (makespan * DCUs), GNN phase
+  std::size_t windows = 0;
+};
+
+class TagnnAccelerator {
+ public:
+  explicit TagnnAccelerator(TagnnConfig cfg = {}) : cfg_(cfg) {}
+
+  const TagnnConfig& config() const { return cfg_; }
+
+  AccelResult run(const DynamicGraph& g, const DgnnWeights& weights,
+                  bool store_outputs = false) const;
+
+ private:
+  TagnnConfig cfg_;
+};
+
+}  // namespace tagnn

@@ -1,0 +1,37 @@
+#include "tagnn/config.hpp"
+
+#include "common/check.hpp"
+#include "tagnn/resources.hpp"
+
+namespace tagnn {
+
+void TagnnConfig::validate() const {
+  TAGNN_CHECK(clock_mhz > 0);
+  TAGNN_CHECK(num_dcus >= 1 && cpes_per_dcu >= 1 && apes_per_dcu >= 1);
+  TAGNN_CHECK(scu_lanes >= 1 && loader_replicas >= 1);
+  TAGNN_CHECK(window >= 1);
+  TAGNN_CHECK_MSG(thresholds.theta_s <= thresholds.theta_e,
+                  "theta_s must not exceed theta_e");
+  std::size_t count = 0;
+  const char* const* names = ModelConfig::preset_names(&count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const ResourceUtilization u =
+        estimate_resources(*this, ModelConfig::preset(names[i]));
+    TAGNN_CHECK_MSG(u.fits(), "configuration does not fit the device for "
+                                  << names[i]);
+  }
+}
+
+const char* to_string(StorageFormat f) {
+  switch (f) {
+    case StorageFormat::kOcsr:
+      return "O-CSR";
+    case StorageFormat::kCsr:
+      return "CSR";
+    case StorageFormat::kPma:
+      return "PMA";
+  }
+  return "?";
+}
+
+}  // namespace tagnn

@@ -1,0 +1,47 @@
+// Multiple Snapshots Data Loader (MSDL) — functional classification /
+// subgraph extraction plus the cycle model of the two hardware
+// pipelines described in section 4.1:
+//   * 6-stage vertex-classification pipeline: Fetch_Vertex,
+//     Fetch_Snapshot, Fetch_Offsets, Fetch_Neighbors, Fetch_Features,
+//     Identify_Vertices;
+//   * 5-stage TFSM traversal pipeline: Fetch_Root, Fetch_Neighbors,
+//     Type_Detection, Offsets_Fetching, Neighbors_Selection.
+#pragma once
+
+#include "graph/affected_subgraph.hpp"
+#include "graph/ocsr.hpp"
+#include "sim/pipeline.hpp"
+#include "tagnn/config.hpp"
+
+namespace tagnn {
+
+struct MsdlResult {
+  WindowClassification cls;
+  AffectedSubgraph subgraph;
+  OCsr ocsr;
+  Cycle classification_cycles = 0;
+  Cycle traversal_cycles = 0;
+  /// Bytes the loader pulled from HBM (structure + deduplicated
+  /// features under the configured storage format).
+  double dram_bytes = 0;
+  /// Burst-friendliness of those transfers (format dependent).
+  double sequential_fraction = 0.9;
+
+  Cycle total_cycles() const {
+    return classification_cycles + traversal_cycles;
+  }
+};
+
+class Msdl {
+ public:
+  explicit Msdl(const TagnnConfig& cfg) : cfg_(cfg) {}
+
+  /// Runs classification + traversal for one window and models the
+  /// pipeline cycles.
+  MsdlResult process_window(const DynamicGraph& g, Window w) const;
+
+ private:
+  const TagnnConfig& cfg_;
+};
+
+}  // namespace tagnn

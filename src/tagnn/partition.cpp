@@ -1,0 +1,154 @@
+#include "tagnn/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace tagnn {
+namespace {
+
+// Window degree of every vertex (sum over snapshots).
+std::vector<std::size_t> window_degrees(const DynamicGraph& g, Window w) {
+  std::vector<std::size_t> deg(g.num_vertices(), 0);
+  for (SnapshotId t = w.start; t < w.end(); ++t) {
+    const CsrGraph& s = g.snapshot(t).graph;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      deg[v] += s.degree(v);
+    }
+  }
+  return deg;
+}
+
+}  // namespace
+
+const char* to_string(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kRange:
+      return "range";
+    case PartitionStrategy::kDegreeBalanced:
+      return "degree-balanced";
+    case PartitionStrategy::kBfsLocality:
+      return "bfs-locality";
+  }
+  return "?";
+}
+
+double Partitioning::imbalance() const {
+  if (edge_mass.empty()) return 1.0;
+  const auto mx = *std::max_element(edge_mass.begin(), edge_mass.end());
+  const double mean =
+      static_cast<double>(
+          std::accumulate(edge_mass.begin(), edge_mass.end(),
+                          std::size_t{0})) /
+      static_cast<double>(edge_mass.size());
+  return mean > 0 ? static_cast<double>(mx) / mean : 1.0;
+}
+
+Partitioning partition_window(const DynamicGraph& g, Window w,
+                              std::size_t parts,
+                              PartitionStrategy strategy) {
+  TAGNN_CHECK(parts >= 1);
+  TAGNN_CHECK(w.length >= 1 && w.end() <= g.num_snapshots());
+  const VertexId n = g.num_vertices();
+  const std::vector<std::size_t> deg = window_degrees(g, w);
+
+  Partitioning p;
+  p.num_partitions = parts;
+  p.partition_of.assign(n, 0);
+  p.edge_mass.assign(parts, 0);
+
+  switch (strategy) {
+    case PartitionStrategy::kRange: {
+      const VertexId per = (n + static_cast<VertexId>(parts) - 1) /
+                           static_cast<VertexId>(parts);
+      for (VertexId v = 0; v < n; ++v) {
+        p.partition_of[v] =
+            std::min<std::uint32_t>(v / std::max<VertexId>(per, 1),
+                                    static_cast<std::uint32_t>(parts - 1));
+      }
+      break;
+    }
+    case PartitionStrategy::kDegreeBalanced: {
+      // LPT on window degree: heaviest vertices first to the lightest
+      // partition.
+      std::vector<VertexId> order(n);
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+        return deg[a] > deg[b];
+      });
+      std::priority_queue<std::pair<std::size_t, std::uint32_t>,
+                          std::vector<std::pair<std::size_t, std::uint32_t>>,
+                          std::greater<>>
+          heap;
+      for (std::uint32_t i = 0; i < parts; ++i) heap.emplace(0, i);
+      std::vector<std::size_t> mass(parts, 0);
+      for (VertexId v : order) {
+        auto [m, i] = heap.top();
+        heap.pop();
+        p.partition_of[v] = i;
+        mass[i] = m + deg[v];
+        heap.emplace(mass[i], i);
+      }
+      break;
+    }
+    case PartitionStrategy::kBfsLocality: {
+      // BFS over the window-start snapshot; chunk the visit order so
+      // each partition carries ~1/parts of the total degree mass.
+      const CsrGraph& s0 = g.snapshot(w.start).graph;
+      const std::size_t total =
+          std::accumulate(deg.begin(), deg.end(), std::size_t{0});
+      const std::size_t target = (total + parts - 1) / parts;
+      std::vector<bool> visited(n, false);
+      std::uint32_t current = 0;
+      std::size_t filled = 0;
+      std::queue<VertexId> q;
+      auto assign = [&](VertexId v) {
+        p.partition_of[v] = current;
+        filled += deg[v];
+        if (filled >= target && current + 1 < parts) {
+          ++current;
+          filled = 0;
+        }
+      };
+      for (VertexId seed = 0; seed < n; ++seed) {
+        if (visited[seed]) continue;
+        visited[seed] = true;
+        q.push(seed);
+        while (!q.empty()) {
+          const VertexId v = q.front();
+          q.pop();
+          assign(v);
+          for (VertexId u : s0.neighbors(v)) {
+            if (!visited[u]) {
+              visited[u] = true;
+              q.push(u);
+            }
+          }
+        }
+      }
+      break;
+    }
+  }
+
+  // Metrics.
+  for (VertexId v = 0; v < n; ++v) p.edge_mass[p.partition_of[v]] += deg[v];
+  std::size_t internal = 0, total_edges = 0;
+  for (SnapshotId t = w.start; t < w.end(); ++t) {
+    const CsrGraph& s = g.snapshot(t).graph;
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId u : s.neighbors(v)) {
+        ++total_edges;
+        internal += (p.partition_of[v] == p.partition_of[u]);
+      }
+    }
+  }
+  p.internal_edge_fraction =
+      total_edges > 0
+          ? static_cast<double>(internal) / static_cast<double>(total_edges)
+          : 1.0;
+  return p;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,96 @@
+#include "tagnn/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace tagnn {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::ostringstream esc;
+          esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+              << static_cast<int>(c);
+          out += esc.str();
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_json_report(std::ostream& os, const std::string& workload,
+                       const TagnnConfig& cfg, const AccelResult& r) {
+  const OpCounts c = r.functional.total_counts();
+  os << "{\n"
+     << "  \"workload\": \"" << json_escape(workload) << "\",\n"
+     << "  \"config\": {\n"
+     << "    \"clock_mhz\": " << cfg.clock_mhz << ",\n"
+     << "    \"num_dcus\": " << cfg.num_dcus << ",\n"
+     << "    \"macs\": " << cfg.total_macs() << ",\n"
+     << "    \"window\": " << cfg.window << ",\n"
+     << "    \"oadl\": " << (cfg.enable_oadl ? "true" : "false") << ",\n"
+     << "    \"adsc\": " << (cfg.enable_adsc ? "true" : "false") << ",\n"
+     << "    \"format\": \"" << to_string(cfg.format) << "\",\n"
+     << "    \"theta_s\": " << cfg.thresholds.theta_s << ",\n"
+     << "    \"theta_e\": " << cfg.thresholds.theta_e << "\n"
+     << "  },\n"
+     << "  \"cycles\": {\n"
+     << "    \"total\": " << r.cycles.total << ",\n"
+     << "    \"msdl\": " << r.cycles.msdl << ",\n"
+     << "    \"gnn\": " << r.cycles.gnn << ",\n"
+     << "    \"rnn\": " << r.cycles.rnn << ",\n"
+     << "    \"memory\": " << r.cycles.memory << "\n"
+     << "  },\n"
+     << "  \"seconds\": " << r.seconds << ",\n"
+     << "  \"dram_bytes\": " << r.dram_bytes << ",\n"
+     << "  \"energy_j\": {\n"
+     << "    \"total\": " << r.energy.total() << ",\n"
+     << "    \"compute\": " << r.energy.compute_j << ",\n"
+     << "    \"sram\": " << r.energy.sram_j << ",\n"
+     << "    \"dram\": " << r.energy.dram_j << ",\n"
+     << "    \"static\": " << r.energy.static_j << "\n"
+     << "  },\n"
+     << "  \"dcu_utilization\": " << r.dcu_utilization << ",\n"
+     << "  \"counts\": {\n"
+     << "    \"macs\": " << c.macs << ",\n"
+     << "    \"feature_bytes\": " << c.feature_bytes << ",\n"
+     << "    \"redundant_bytes\": " << c.redundant_bytes << ",\n"
+     << "    \"rnn_full\": " << c.rnn_full << ",\n"
+     << "    \"rnn_delta\": " << c.rnn_delta << ",\n"
+     << "    \"rnn_skip\": " << c.rnn_skip << ",\n"
+     << "    \"gnn_vertex_reused\": " << c.gnn_vertex_reused << "\n"
+     << "  },\n"
+     << "  \"windows\": " << r.windows << "\n"
+     << "}\n";
+}
+
+std::string json_report(const std::string& workload, const TagnnConfig& cfg,
+                        const AccelResult& result) {
+  std::ostringstream os;
+  write_json_report(os, workload, cfg, result);
+  return os.str();
+}
+
+}  // namespace tagnn

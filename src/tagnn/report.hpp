@@ -1,0 +1,28 @@
+// Machine-readable run reports.
+//
+// Serialises an AccelResult (plus its configuration) as JSON so sweeps
+// driven through tools/tagnn_sim can be post-processed without parsing
+// human-oriented tables. The writer is self-contained (no JSON library
+// dependency) and escapes strings correctly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tagnn/accelerator.hpp"
+
+namespace tagnn {
+
+/// Writes one JSON object describing the run. `workload` names the
+/// dataset/model pair for the report consumer.
+void write_json_report(std::ostream& os, const std::string& workload,
+                       const TagnnConfig& cfg, const AccelResult& result);
+
+/// Convenience: returns the JSON as a string.
+std::string json_report(const std::string& workload, const TagnnConfig& cfg,
+                        const AccelResult& result);
+
+/// Escapes a string for embedding in JSON (quotes, control chars).
+std::string json_escape(const std::string& s);
+
+}  // namespace tagnn

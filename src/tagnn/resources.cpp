@@ -1,0 +1,66 @@
+#include "tagnn/resources.hpp"
+
+#include "common/check.hpp"
+
+namespace tagnn {
+namespace {
+
+struct ModelDelta {
+  const char* name;
+  double dsp;        // activation/gate datapath DSPs
+  double lut;        // control + gate logic LUTs
+  double ff;         // pipeline registers
+  double bram_bytes; // layer ping-pong working buffers
+  double uram_bytes; // embedding / feature cache sizing
+};
+
+// Calibrated against the paper's Table 3 (see resources.hpp).
+constexpr ModelDelta kDeltas[] = {
+    {"CD-GCN", 1028, 125000, 160000, 1.80 * (1u << 20), 21.7 * (1u << 20)},
+    {"GC-LSTM", 1298, 200000, 167000, 2.13 * (1u << 20), 23.9 * (1u << 20)},
+    {"T-GCN", 702, 98000, 63000, 1.66 * (1u << 20), 21.1 * (1u << 20)},
+};
+
+const ModelDelta& delta_for(const std::string& name) {
+  for (const auto& d : kDeltas) {
+    if (name == d.name) return d;
+  }
+  // Unknown models get a mid-range delta.
+  return kDeltas[2];
+}
+
+}  // namespace
+
+ResourceUtilization estimate_resources(const TagnnConfig& cfg,
+                                       const ModelConfig& model,
+                                       const DeviceCapacity& dev) {
+  const ModelDelta& d = delta_for(model.name);
+  const double macs = static_cast<double>(cfg.total_macs());
+  const double adders = static_cast<double>(cfg.total_adders());
+  const double scu = static_cast<double>(cfg.scu_lanes);
+
+  ResourceUtilization u;
+  // DSP: fp16 MAC ~1.45 DSP; SCU multiply/divide lanes ~8 DSP each.
+  u.dsp = (macs * 1.35 + scu * 8.0 + d.dsp) / dev.dsps;
+  // LUT: MAC control ~40, APE adder lane ~35, loader pipelines + the
+  // dispatcher ~80k, SCU datapath ~300/lane.
+  u.lut = (macs * 40.0 + adders * 35.0 + scu * 300.0 + 80000.0 + d.lut) /
+          dev.luts;
+  // FF: ~1.2 registers per LUT of datapath plus model pipeline depth.
+  u.ff = (macs * 95.0 + adders * 45.0 + scu * 500.0 + 90000.0 + d.ff) /
+         dev.ffs;
+  // BRAM: Table 4 small buffers + per-model working buffers.
+  const double small_buffers =
+      static_cast<double>(cfg.task_fifo_bytes +
+                          cfg.intermediate_buffer_bytes +
+                          cfg.structure_memory_bytes +
+                          cfg.output_buffer_bytes);
+  u.bram = (small_buffers + d.bram_bytes) / dev.bram_bytes;
+  // URAM: feature buffer + O-CSR table + the model's feature cache.
+  const double big_buffers = static_cast<double>(cfg.feature_buffer_bytes +
+                                                 cfg.ocsr_table_bytes);
+  u.uram = (big_buffers + d.uram_bytes) / dev.uram_bytes;
+  return u;
+}
+
+}  // namespace tagnn

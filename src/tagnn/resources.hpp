@@ -1,0 +1,43 @@
+// Analytic FPGA resource estimator (reproduces Table 3).
+//
+// Vivado synthesis is not available here, so utilisation is estimated
+// from per-unit costs on a Xilinx Alveo U280 (XCU280: 1.08M LUTs,
+// 9,024 DSP slices, 4.5 MB BRAM, 30 MB UltraRAM — the figures the
+// paper quotes in section 5.1): fp16 MACs cost ~1.45 DSP each, APE
+// adder-tree lanes are LUT fabric, Table 4 buffers map to BRAM, and the
+// feature/O-CSR working stores map to UltraRAM. Each DGNN model adds a
+// calibrated control/datapath increment (gate count, layer count) —
+// the calibration anchors are the paper's own Table 3 rows.
+#pragma once
+
+#include "nn/model_config.hpp"
+#include "tagnn/config.hpp"
+
+namespace tagnn {
+
+struct DeviceCapacity {
+  double dsps = 9024;
+  double luts = 1.08e6;
+  double ffs = 2.16e6;
+  double bram_bytes = 4.5 * (1u << 20);
+  double uram_bytes = 30.0 * (1u << 20);
+};
+
+struct ResourceUtilization {
+  double dsp = 0;   // fractions of the device, 0..1
+  double lut = 0;
+  double ff = 0;
+  double bram = 0;
+  double uram = 0;
+
+  bool fits() const {
+    return dsp <= 1.0 && lut <= 1.0 && ff <= 1.0 && bram <= 1.0 &&
+           uram <= 1.0;
+  }
+};
+
+ResourceUtilization estimate_resources(const TagnnConfig& cfg,
+                                       const ModelConfig& model,
+                                       const DeviceCapacity& dev = {});
+
+}  // namespace tagnn

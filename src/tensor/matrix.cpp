@@ -1,0 +1,12 @@
+#include "tensor/matrix.hpp"
+
+namespace tagnn {
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, Rng& rng,
+                      float scale) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.uniform(-scale, scale);
+  return m;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,71 @@
+// Row-major dense matrix of float. This is the only feature/weight
+// container in the library; GNN feature matrices are (num_vertices x dim).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace tagnn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::span<float> row(std::size_t r) {
+    TAGNN_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const {
+    TAGNN_CHECK(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  float& at(std::size_t r, std::size_t c) {
+    TAGNN_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    TAGNN_CHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked element access for hot kernels.
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  void fill(float v) { data_.assign(data_.size(), v); }
+
+  /// Glorot-style uniform init in [-scale, scale) from a deterministic RNG.
+  static Matrix random(std::size_t rows, std::size_t cols, Rng& rng,
+                       float scale = 0.1f);
+
+  /// Exact element-wise equality (used by invariance tests).
+  bool operator==(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace tagnn

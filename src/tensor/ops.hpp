@@ -1,0 +1,46 @@
+// Dense kernels used by the DGNN models: GEMM, GEMV, element-wise ops,
+// activations, and similarity measures. Kernels parallelise over rows
+// via the global thread pool (schedule(static) idiom).
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace tagnn {
+
+/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n). C is overwritten.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// out[j] = sum_i x[i] * w(i, j); out must have w.cols() elements.
+void gemv(std::span<const float> x, const Matrix& w, std::span<float> out);
+
+/// y += x (same length).
+void axpy(std::span<const float> x, std::span<float> y, float alpha = 1.0f);
+
+/// dst = src (same length).
+void copy(std::span<const float> src, std::span<float> dst);
+
+/// Element-wise activations, in place.
+void relu(std::span<float> x);
+void sigmoid(std::span<float> x);
+void tanh_act(std::span<float> x);
+
+/// L2 norm of a vector.
+float norm2(std::span<const float> x);
+
+/// Dot product (lengths must match).
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// Cosine similarity in [-1, 1]; returns 1 when both vectors are ~zero
+/// (identical) and 0 when exactly one is ~zero.
+float cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+/// Max-absolute-difference between two equal-shaped matrices.
+float max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Number of entries with |a[i] - b[i]| > tol.
+std::size_t count_diff(std::span<const float> a, std::span<const float> b,
+                       float tol);
+
+}  // namespace tagnn

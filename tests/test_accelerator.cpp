@@ -1,0 +1,280 @@
+// Tests for the TaGNN accelerator simulator: functional equivalence,
+// cycle-model sanity, ablation ordering, dispatcher, MSDL, resources.
+#include <gtest/gtest.h>
+
+#include "baselines/accelerators.hpp"
+#include "baselines/platform.hpp"
+#include "graph/datasets.hpp"
+#include "tagnn/accelerator.hpp"
+#include "tagnn/dispatcher.hpp"
+#include "tagnn/msdl.hpp"
+#include "tagnn/resources.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+namespace {
+
+struct Scenario {
+  DynamicGraph g;
+  DgnnWeights w;
+};
+
+Scenario make(const std::string& model = "T-GCN",
+              const std::string& dataset = "GT", double scale = 0.15,
+              std::size_t snaps = 6) {
+  DynamicGraph g = datasets::load(dataset, scale, snaps);
+  DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset(model), g.feature_dim(), 99);
+  return {std::move(g), std::move(w)};
+}
+
+TEST(Dispatcher, BalancedBeatsNaiveOnSkewedTasks) {
+  // Heavy tasks clustered at the front: static range partitioning dumps
+  // them all on the first DCU.
+  std::vector<DispatchTask> tasks;
+  for (VertexId v = 0; v < 64; ++v) {
+    tasks.push_back({v, v < 8 ? Cycle{100} : Cycle{1}});
+  }
+  const DispatchResult b = dispatch_tasks(tasks, 4, true);
+  const DispatchResult n = dispatch_tasks(tasks, 4, false);
+  EXPECT_LE(b.makespan, n.makespan);
+  EXPECT_GE(b.utilization, n.utilization);
+  EXPECT_EQ(b.total_work, n.total_work);
+}
+
+TEST(Dispatcher, MakespanLowerBound) {
+  std::vector<DispatchTask> tasks{{0, 10}, {1, 10}, {2, 10}, {3, 10}};
+  const DispatchResult r = dispatch_tasks(tasks, 4, true);
+  EXPECT_EQ(r.makespan, 10u);
+  EXPECT_DOUBLE_EQ(r.utilization, 1.0);
+}
+
+TEST(Dispatcher, EmptyTasksNoCrash) {
+  const DispatchResult r = dispatch_tasks({}, 8, true);
+  EXPECT_EQ(r.makespan, 0u);
+}
+
+TEST(Dispatcher, SingleDcuSerializes) {
+  std::vector<DispatchTask> tasks{{0, 5}, {1, 7}};
+  const DispatchResult r = dispatch_tasks(tasks, 1, true);
+  EXPECT_EQ(r.makespan, 12u);
+}
+
+TEST(Msdl, ProducesSameClassificationAsLibrary) {
+  const Scenario s = make();
+  TagnnConfig cfg;
+  const Msdl msdl(cfg);
+  const Window w{0, 4};
+  const MsdlResult r = msdl.process_window(s.g, w);
+  const WindowClassification expect = classify_window(s.g, w);
+  EXPECT_EQ(r.cls.clazz, expect.clazz);
+  EXPECT_GT(r.classification_cycles, 0u);
+  EXPECT_GT(r.traversal_cycles, 0u);
+  EXPECT_GT(r.dram_bytes, 0.0);
+}
+
+TEST(Msdl, CsrFormatLoadsMoreBytesThanOcsr) {
+  const Scenario s = make();
+  TagnnConfig ocsr_cfg;
+  TagnnConfig csr_cfg;
+  csr_cfg.format = StorageFormat::kCsr;
+  const MsdlResult a = Msdl(ocsr_cfg).process_window(s.g, {0, 4});
+  const MsdlResult b = Msdl(csr_cfg).process_window(s.g, {0, 4});
+  EXPECT_LT(a.dram_bytes, b.dram_bytes);
+  EXPECT_GT(a.sequential_fraction, b.sequential_fraction);
+}
+
+TEST(Accelerator, FunctionalOutputMatchesConcurrentEngine) {
+  const Scenario s = make();
+  TagnnConfig cfg;
+  const AccelResult ar = TagnnAccelerator(cfg).run(s.g, s.w, true);
+
+  EngineOptions eng;
+  eng.window_size = cfg.window;
+  eng.thresholds = cfg.thresholds;
+  const EngineResult er = ConcurrentEngine(eng).run(s.g, s.w);
+  ASSERT_EQ(ar.functional.outputs.size(), er.outputs.size());
+  for (std::size_t t = 0; t < er.outputs.size(); ++t) {
+    EXPECT_EQ(max_abs_diff(ar.functional.outputs[t], er.outputs[t]), 0.0f);
+  }
+}
+
+TEST(Accelerator, ExactModeMatchesReference) {
+  const Scenario s = make("GC-LSTM");
+  TagnnConfig cfg;
+  cfg.enable_adsc = false;  // no approximation
+  const AccelResult ar = TagnnAccelerator(cfg).run(s.g, s.w, true);
+  const EngineResult ref = ReferenceEngine().run(s.g, s.w);
+  EXPECT_EQ(max_abs_diff(ar.functional.final_hidden, ref.final_hidden),
+            0.0f);
+}
+
+TEST(Accelerator, CyclesAndEnergyPopulated) {
+  const Scenario s = make();
+  const AccelResult r = TagnnAccelerator().run(s.g, s.w);
+  EXPECT_GT(r.cycles.total, 0u);
+  EXPECT_GT(r.cycles.gnn, 0u);
+  EXPECT_GT(r.cycles.rnn, 0u);
+  EXPECT_GT(r.cycles.memory, 0u);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_GT(r.energy.total(), 0.0);
+  EXPECT_GT(r.dram_bytes, 0.0);
+  EXPECT_GT(r.dcu_utilization, 0.3);
+  EXPECT_LE(r.dcu_utilization, 1.0);
+  EXPECT_EQ(r.windows, 2u);  // 6 snapshots / window 4 -> 2 windows
+}
+
+TEST(Accelerator, OadlAblationSlower) {
+  const Scenario s = make();
+  TagnnConfig with;
+  TagnnConfig without;
+  without.enable_oadl = false;
+  const AccelResult a = TagnnAccelerator(with).run(s.g, s.w);
+  const AccelResult b = TagnnAccelerator(without).run(s.g, s.w);
+  EXPECT_LT(a.seconds, b.seconds);
+  EXPECT_LT(a.dram_bytes, b.dram_bytes);
+}
+
+TEST(Accelerator, AdscAblationSlower) {
+  const Scenario s = make();
+  TagnnConfig with;
+  TagnnConfig without;
+  without.enable_adsc = false;
+  const AccelResult a = TagnnAccelerator(with).run(s.g, s.w);
+  const AccelResult b = TagnnAccelerator(without).run(s.g, s.w);
+  EXPECT_LT(a.cycles.rnn, b.cycles.rnn);
+  EXPECT_LE(a.seconds, b.seconds);
+}
+
+TEST(Accelerator, NaiveDispatchSlower) {
+  const Scenario s = make("T-GCN", "HP");  // power-law hubs -> skew
+  TagnnConfig balanced;
+  TagnnConfig naive;
+  naive.balanced_dispatch = false;
+  const AccelResult a = TagnnAccelerator(balanced).run(s.g, s.w);
+  const AccelResult b = TagnnAccelerator(naive).run(s.g, s.w);
+  EXPECT_LE(a.cycles.gnn, b.cycles.gnn);
+}
+
+TEST(Accelerator, MoreDcusNotSlower) {
+  const Scenario s = make();
+  TagnnConfig few;
+  few.num_dcus = 2;
+  TagnnConfig many;
+  many.num_dcus = 16;
+  const AccelResult a = TagnnAccelerator(few).run(s.g, s.w);
+  const AccelResult b = TagnnAccelerator(many).run(s.g, s.w);
+  EXPECT_GE(a.cycles.gnn, b.cycles.gnn);
+}
+
+TEST(Accelerator, FormatAffectsMemoryCycles) {
+  const Scenario s = make();
+  TagnnConfig ocsr;
+  TagnnConfig csr;
+  csr.format = StorageFormat::kCsr;
+  TagnnConfig pma;
+  pma.format = StorageFormat::kPma;
+  const AccelResult a = TagnnAccelerator(ocsr).run(s.g, s.w);
+  const AccelResult b = TagnnAccelerator(csr).run(s.g, s.w);
+  const AccelResult c = TagnnAccelerator(pma).run(s.g, s.w);
+  EXPECT_LT(a.cycles.memory, c.cycles.memory);
+  EXPECT_LT(c.cycles.memory, b.cycles.memory);
+}
+
+TEST(Resources, AllModelsFitTheU280) {
+  TagnnConfig cfg;
+  std::size_t count = 0;
+  const char* const* names = ModelConfig::preset_names(&count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto u =
+        estimate_resources(cfg, ModelConfig::preset(names[i]));
+    EXPECT_TRUE(u.fits()) << names[i];
+    EXPECT_GT(u.dsp, 0.5) << names[i];   // the MAC array dominates DSPs
+    EXPECT_GT(u.uram, 0.5) << names[i];  // feature stores dominate URAM
+  }
+}
+
+TEST(Resources, GcLstmUsesMostResources) {
+  // Table 3: GC-LSTM has the highest utilisation across the board.
+  TagnnConfig cfg;
+  const auto gc = estimate_resources(cfg, ModelConfig::preset("GC-LSTM"));
+  const auto t = estimate_resources(cfg, ModelConfig::preset("T-GCN"));
+  EXPECT_GT(gc.dsp, t.dsp);
+  EXPECT_GT(gc.lut, t.lut);
+  EXPECT_GT(gc.bram, t.bram);
+  EXPECT_GT(gc.uram, t.uram);
+}
+
+TEST(Resources, ScalesWithMacCount) {
+  TagnnConfig small;
+  small.num_dcus = 4;
+  TagnnConfig big;
+  big.num_dcus = 16;
+  const auto a = estimate_resources(small, ModelConfig::preset("T-GCN"));
+  const auto b = estimate_resources(big, ModelConfig::preset("T-GCN"));
+  EXPECT_LT(a.dsp, b.dsp);
+}
+
+TEST(BaselineAccel, PresetsDiffer) {
+  const auto booster =
+      BaselineAccelConfig::preset(BaselineAccelKind::kDgnnBooster);
+  const auto edgcn = BaselineAccelConfig::preset(BaselineAccelKind::kEdgcn);
+  const auto camb =
+      BaselineAccelConfig::preset(BaselineAccelKind::kCambriconDg);
+  EXPECT_EQ(booster.name, "DGNN-Booster");
+  EXPECT_LT(booster.clock_mhz, edgcn.clock_mhz);
+  EXPECT_LT(edgcn.compute_efficiency, camb.compute_efficiency);
+}
+
+TEST(BaselineAccel, OrderingMatchesPaper) {
+  // Paper Fig. 10: TaGNN > Cambricon-DG > E-DGCN > DGNN-Booster.
+  const Scenario s = make("T-GCN", "GT", 0.2, 6);
+  const double tagnn = TagnnAccelerator().run(s.g, s.w).seconds;
+  const double booster =
+      BaselineAccelerator(
+          BaselineAccelConfig::preset(BaselineAccelKind::kDgnnBooster))
+          .run(s.g, s.w)
+          .seconds;
+  const double edgcn =
+      BaselineAccelerator(
+          BaselineAccelConfig::preset(BaselineAccelKind::kEdgcn))
+          .run(s.g, s.w)
+          .seconds;
+  const double camb =
+      BaselineAccelerator(
+          BaselineAccelConfig::preset(BaselineAccelKind::kCambriconDg))
+          .run(s.g, s.w)
+          .seconds;
+  EXPECT_LT(tagnn, camb);
+  EXPECT_LT(camb, edgcn);
+  EXPECT_LT(edgcn, booster);
+}
+
+TEST(Platforms, CpuSlowestGpuTiersOrdered) {
+  const Scenario s = make("T-GCN", "GT", 0.2, 6);
+  EngineOptions opts;
+  opts.store_outputs = false;
+  const OpCounts c = ReferenceEngine(opts).run(s.g, s.w).total_counts();
+  const double cpu = platforms::dgl_cpu().seconds(c);
+  const double pygt = platforms::pygt().seconds(c);
+  const double cacheg = platforms::cacheg().seconds(c);
+  const double esdg = platforms::esdg().seconds(c);
+  const double pipad = platforms::pipad().seconds(c);
+  EXPECT_GT(cpu, pygt);
+  EXPECT_GT(pygt, cacheg);
+  EXPECT_GT(cacheg, esdg);
+  EXPECT_GT(esdg, pipad);
+}
+
+TEST(Platforms, MemoryDominatesPiPAD) {
+  // Fig. 2(d): memory access ~70 % of PiPAD runtime.
+  const Scenario s = make("T-GCN", "GT", 0.2, 6);
+  EngineOptions opts;
+  opts.store_outputs = false;
+  const OpCounts c = ReferenceEngine(opts).run(s.g, s.w).total_counts();
+  const PlatformModel p = platforms::pipad();
+  EXPECT_GT(p.memory_seconds(c), p.compute_seconds(c));
+}
+
+}  // namespace
+}  // namespace tagnn

@@ -1,0 +1,154 @@
+// Tests for the RNN approximation baselines and the accuracy task.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/datasets.hpp"
+#include "nn/accuracy.hpp"
+#include "nn/approx.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+namespace {
+
+struct Scenario {
+  DynamicGraph g;
+  DgnnWeights w;
+};
+
+Scenario make(const std::string& model = "T-GCN") {
+  DynamicGraph g = datasets::load("GT", 0.15, 8);
+  DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset(model), g.feature_dim(), 99);
+  return {std::move(g), std::move(w)};
+}
+
+TEST(Approx, MethodNames) {
+  EXPECT_STREQ(to_string(ApproxMethod::kBaseline), "Baseline");
+  EXPECT_STREQ(to_string(ApproxMethod::kTagnn), "TaGNN");
+  EXPECT_STREQ(to_string(ApproxMethod::kDeltaRnn), "TaGNN-DR");
+  EXPECT_STREQ(to_string(ApproxMethod::kAlstm), "TaGNN-AM");
+  EXPECT_STREQ(to_string(ApproxMethod::kAtlas), "TaGNN-AS");
+}
+
+class ApproxMethods : public ::testing::TestWithParam<ApproxMethod> {};
+
+TEST_P(ApproxMethods, ProducesFiniteBoundedOutputs) {
+  const Scenario s = make();
+  const EngineResult r = run_with_approximation(s.g, s.w, GetParam());
+  ASSERT_EQ(r.outputs.size(), s.g.num_snapshots());
+  for (const auto& h : r.outputs) {
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(h.data()[i]));
+      ASSERT_LE(std::fabs(h.data()[i]), 1.5f);
+    }
+  }
+}
+
+TEST_P(ApproxMethods, DeterministicAcrossRuns) {
+  const Scenario s = make();
+  const EngineResult a = run_with_approximation(s.g, s.w, GetParam());
+  const EngineResult b = run_with_approximation(s.g, s.w, GetParam());
+  EXPECT_EQ(max_abs_diff(a.final_hidden, b.final_hidden), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ApproxMethods,
+    ::testing::Values(ApproxMethod::kBaseline, ApproxMethod::kTagnn,
+                      ApproxMethod::kDeltaRnn, ApproxMethod::kAlstm,
+                      ApproxMethod::kAtlas));
+
+TEST(Approx, DeltaRnnSkipsWithLargeThreshold) {
+  const Scenario s = make();
+  ApproxOptions opts;
+  opts.delta_threshold = 100.0f;  // everything below threshold
+  const EngineResult r =
+      run_with_approximation(s.g, s.w, ApproxMethod::kDeltaRnn, opts);
+  EXPECT_GT(r.rnn_counts.rnn_skip, 0u);
+  EXPECT_EQ(r.rnn_counts.rnn_delta, 0u);
+}
+
+TEST(Approx, DeltaRnnTightThresholdNearExact) {
+  const Scenario s = make();
+  ApproxOptions opts;
+  opts.delta_threshold = 1e-6f;
+  const EngineResult ex =
+      run_with_approximation(s.g, s.w, ApproxMethod::kBaseline);
+  const EngineResult dr =
+      run_with_approximation(s.g, s.w, ApproxMethod::kDeltaRnn, opts);
+  EXPECT_LT(max_abs_diff(ex.final_hidden, dr.final_hidden), 5e-3f);
+}
+
+TEST(Approx, ErrorOrderingMatchesTable5) {
+  // TaGNN's topology-aware skipping must beat the topology-blind
+  // approximations on feature fidelity.
+  const Scenario s = make();
+  const EngineResult ex =
+      run_with_approximation(s.g, s.w, ApproxMethod::kBaseline);
+  auto err = [&](ApproxMethod m) {
+    const EngineResult r = run_with_approximation(s.g, s.w, m);
+    double sum = 0;
+    for (std::size_t t = s.g.num_snapshots() / 2;
+         t < ex.outputs.size(); ++t) {
+      for (std::size_t i = 0; i < ex.outputs[t].size(); ++i) {
+        sum += std::fabs(ex.outputs[t].data()[i] -
+                         r.outputs[t].data()[i]);
+      }
+    }
+    return sum;
+  };
+  const double tagnn = err(ApproxMethod::kTagnn);
+  EXPECT_LT(tagnn, err(ApproxMethod::kDeltaRnn));
+  EXPECT_LT(tagnn, err(ApproxMethod::kAlstm));
+  EXPECT_LT(tagnn, err(ApproxMethod::kAtlas));
+}
+
+TEST(Accuracy, BaselineMatchesTargetClosely) {
+  const Scenario s = make();
+  const EngineResult ex =
+      run_with_approximation(s.g, s.w, ApproxMethod::kBaseline);
+  for (double target : {0.60, 0.75, 0.90}) {
+    const AccuracyTask task = make_accuracy_task(s.g, ex, 8, target, 11);
+    const double acc = evaluate_accuracy(s.g, task, ex.outputs);
+    EXPECT_NEAR(acc, target, 0.03) << "target " << target;
+  }
+}
+
+TEST(Accuracy, TagnnStaysCloseToBaseline) {
+  const Scenario s = make();
+  const EngineResult ex =
+      run_with_approximation(s.g, s.w, ApproxMethod::kBaseline);
+  const AccuracyTask task = make_accuracy_task(s.g, ex, 8, 0.80, 11);
+  const double base = evaluate_accuracy(s.g, task, ex.outputs);
+  const EngineResult tg =
+      run_with_approximation(s.g, s.w, ApproxMethod::kTagnn);
+  const double acc = evaluate_accuracy(s.g, task, tg.outputs);
+  // Untrained weights widen the loss vs the paper's <1% on trained
+  // models; the Table 5 bench reports the exact numbers.
+  EXPECT_GT(acc, base - 0.06);
+}
+
+TEST(Accuracy, InvalidTargetsThrow) {
+  const Scenario s = make();
+  const EngineResult ex =
+      run_with_approximation(s.g, s.w, ApproxMethod::kBaseline);
+  EXPECT_THROW(make_accuracy_task(s.g, ex, 1, 0.8, 1), std::logic_error);
+  EXPECT_THROW(make_accuracy_task(s.g, ex, 4, 0.1, 1), std::logic_error);
+  EXPECT_THROW(make_accuracy_task(s.g, ex, 4, 1.2, 1), std::logic_error);
+}
+
+TEST(Accuracy, EvaluationRespectsWarmupWindow) {
+  const Scenario s = make();
+  const EngineResult ex =
+      run_with_approximation(s.g, s.w, ApproxMethod::kBaseline);
+  const AccuracyTask task = make_accuracy_task(s.g, ex, 8, 0.85, 3);
+  // Evaluating everything vs only the tail must both be near target for
+  // the exact outputs (labels were derived from them).
+  const double all = evaluate_accuracy(s.g, task, ex.outputs, 0);
+  const double tail = evaluate_accuracy(s.g, task, ex.outputs);
+  EXPECT_NEAR(all, 0.85, 0.03);
+  EXPECT_NEAR(tail, 0.85, 0.04);
+}
+
+}  // namespace
+}  // namespace tagnn

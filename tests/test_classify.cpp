@@ -1,0 +1,191 @@
+// Tests for window classification and affected-subgraph extraction,
+// including the paper's Fig. 4 worked example.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/affected_subgraph.hpp"
+#include "graph/classify.hpp"
+#include "graph/datasets.hpp"
+
+namespace tagnn {
+namespace {
+
+// Builds the Fig. 4 example: vertices v0..v7 over three snapshots.
+// v0..v3: unchanged features, unchanged neighbours (unaffected).
+// v4: unchanged feature, neighbourhood changes (stable).
+// v5, v6: feature changes (affected). v7: feature changes (affected).
+DynamicGraph fig4_example() {
+  const VertexId n = 8;
+  auto features = [&](int t) {
+    Matrix f(n, 2);
+    for (VertexId v = 0; v < n; ++v) f(v, 0) = static_cast<float>(v);
+    // Affected vertices mutate per snapshot.
+    f(5, 1) = static_cast<float>(t);
+    f(6, 1) = static_cast<float>(2 * t);
+    f(7, 1) = static_cast<float>(3 * t);
+    return f;
+  };
+  auto undirected = [](std::vector<std::pair<VertexId, VertexId>> e) {
+    const auto m = e.size();
+    for (std::size_t i = 0; i < m; ++i) e.emplace_back(e[i].second, e[i].first);
+    return e;
+  };
+  // Core unaffected clique-ish structure among v0..v3 stays fixed;
+  // v4's links to v5/v6 vary per snapshot; v7 hangs off v6.
+  std::vector<Snapshot> snaps;
+  const std::vector<std::vector<std::pair<VertexId, VertexId>>> edge_sets = {
+      undirected({{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {4, 6}, {6, 7}}),
+      undirected({{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {6, 7}}),
+      undirected({{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 6}, {6, 7}}),
+  };
+  for (int t = 0; t < 3; ++t) {
+    Snapshot s;
+    s.graph = CsrGraph::from_edges(n, edge_sets[static_cast<std::size_t>(t)]);
+    s.features = features(t);
+    s.present.assign(n, true);
+    snaps.push_back(std::move(s));
+  }
+  return DynamicGraph("fig4", std::move(snaps));
+}
+
+TEST(Classify, Fig4ExampleClasses) {
+  const DynamicGraph g = fig4_example();
+  const auto cls = classify_window(g, {0, 3});
+  // v3 neighbours v4 whose feature is stable, and v3's own topology is
+  // fixed -> unaffected. v0..v2 likewise.
+  for (VertexId v : {0u, 1u, 2u, 3u}) {
+    EXPECT_EQ(cls.clazz[v], VertexClass::kUnaffected) << "v" << v;
+  }
+  EXPECT_EQ(cls.clazz[4], VertexClass::kStable);
+  EXPECT_EQ(cls.clazz[5], VertexClass::kAffected);
+  EXPECT_EQ(cls.clazz[6], VertexClass::kAffected);
+  EXPECT_EQ(cls.clazz[7], VertexClass::kAffected);
+}
+
+TEST(Classify, Fig4AffectedSubgraph) {
+  const DynamicGraph g = fig4_example();
+  const auto cls = classify_window(g, {0, 3});
+  const auto sub = extract_affected_subgraph(g, {0, 3}, cls);
+  // Paper: subgraph = {v4, v5, v6, v7}.
+  EXPECT_EQ(sub.size(), 4u);
+  std::vector<VertexId> sorted(sub.vertices);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<VertexId>{4, 5, 6, 7}));
+  EXPECT_EQ(sub.num_stable, 1u);
+  EXPECT_EQ(sub.num_affected, 3u);
+  // DFS starts at the stable root v4.
+  EXPECT_EQ(sub.vertices.front(), 4u);
+}
+
+TEST(Classify, SingleSnapshotWindowIsAllUnaffected) {
+  const DynamicGraph g = fig4_example();
+  const auto cls = classify_window(g, {1, 1});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(cls.clazz[v], VertexClass::kUnaffected);
+  }
+}
+
+TEST(Classify, WindowBeyondEndThrows) {
+  const DynamicGraph g = fig4_example();
+  EXPECT_THROW(classify_window(g, {2, 2}), std::logic_error);
+}
+
+TEST(Classify, FeatureChangeMakesAffected) {
+  const DynamicGraph g = fig4_example();
+  const auto cls = classify_window(g, {0, 2});
+  EXPECT_EQ(cls.clazz[5], VertexClass::kAffected);
+  EXPECT_FALSE(cls.feature_stable[5]);
+}
+
+TEST(Classify, CountsAndRatiosConsistent) {
+  const DynamicGraph g = fig4_example();
+  const auto cls = classify_window(g, {0, 3});
+  const std::size_t total = cls.count(VertexClass::kUnaffected) +
+                            cls.count(VertexClass::kStable) +
+                            cls.count(VertexClass::kAffected);
+  EXPECT_EQ(total, g.num_vertices());
+  EXPECT_NEAR(cls.ratio(VertexClass::kUnaffected) +
+                  cls.ratio(VertexClass::kStable) +
+                  cls.ratio(VertexClass::kAffected),
+              1.0, 1e-12);
+}
+
+TEST(Classify, UnaffectedRatioShrinksWithWindowLength) {
+  const DynamicGraph g = datasets::load("GT", 0.3, 5);
+  const auto c2 = classify_window(g, {0, 2});
+  const auto c4 = classify_window(g, {0, 4});
+  EXPECT_GE(c2.ratio(VertexClass::kUnaffected),
+            c4.ratio(VertexClass::kUnaffected));
+}
+
+TEST(Classify, UnaffectedIsSubsetOfFeatureStable) {
+  const DynamicGraph g = datasets::load("HP", 0.2, 4);
+  const auto cls = classify_window(g, {0, 4});
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (cls.clazz[v] == VertexClass::kUnaffected) {
+      EXPECT_TRUE(cls.feature_stable[v]);
+      EXPECT_TRUE(cls.topo_stable[v]);
+    }
+  }
+}
+
+TEST(Classify, UnchangedPerLayerShrinksByOneHop) {
+  const DynamicGraph g = datasets::load("GT", 0.3, 4);
+  const Window w{0, 4};
+  const auto cls = classify_window(g, w);
+  const auto layers = unchanged_per_layer(g, w, cls, 3);
+  ASSERT_EQ(layers.size(), 3u);
+  std::size_t prev = g.num_vertices() + 1;
+  for (const auto& layer : layers) {
+    const auto cnt = static_cast<std::size_t>(
+        std::count(layer.begin(), layer.end(), true));
+    EXPECT_LE(cnt, prev);
+    prev = cnt;
+  }
+  // Layer 0 unchanged == unaffected class.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(layers[0][v], cls.is_unaffected(v));
+  }
+}
+
+TEST(Classify, UnchangedLayerRequiresUnchangedNeighborhood) {
+  const DynamicGraph g = datasets::load("GT", 0.3, 4);
+  const Window w{0, 4};
+  const auto cls = classify_window(g, w);
+  const auto layers = unchanged_per_layer(g, w, cls, 2);
+  const CsrGraph& s0 = g.snapshot(0).graph;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (!layers[1][v]) continue;
+    EXPECT_TRUE(layers[0][v]);
+    for (VertexId u : s0.neighbors(v)) EXPECT_TRUE(layers[0][u]);
+  }
+}
+
+TEST(Subgraph, CoversExactlyNonUnaffectedVertices) {
+  const DynamicGraph g = datasets::load("EP", 0.1, 4);
+  const Window w{0, 4};
+  const auto cls = classify_window(g, w);
+  const auto sub = extract_affected_subgraph(g, w, cls);
+  std::size_t expected = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const bool should = cls.clazz[v] != VertexClass::kUnaffected;
+    EXPECT_EQ(sub.in_subgraph[v], should) << "v" << v;
+    expected += should;
+  }
+  EXPECT_EQ(sub.size(), expected);
+  EXPECT_EQ(sub.num_stable + sub.num_affected, sub.size());
+}
+
+TEST(Subgraph, VerticesListedOnce) {
+  const DynamicGraph g = datasets::load("GT", 0.2, 3);
+  const Window w{0, 3};
+  const auto cls = classify_window(g, w);
+  const auto sub = extract_affected_subgraph(g, w, cls);
+  std::vector<VertexId> sorted(sub.vertices);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+}  // namespace
+}  // namespace tagnn

@@ -1,0 +1,125 @@
+// Unit tests for CSR graphs, snapshots, dynamic graphs, and deltas.
+#include <gtest/gtest.h>
+
+#include "graph/delta.hpp"
+#include "graph/dynamic_graph.hpp"
+
+namespace tagnn {
+namespace {
+
+CsrGraph triangle() {
+  return CsrGraph::from_edges(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {0, 2},
+                                  {2, 0}});
+}
+
+TEST(Csr, FromEdgesBuildsSortedRows) {
+  const CsrGraph g = CsrGraph::from_edges(4, {{2, 1}, {2, 0}, {0, 3}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const auto n2 = g.neighbors(2);
+  ASSERT_EQ(n2.size(), 2u);
+  EXPECT_EQ(n2[0], 0u);
+  EXPECT_EQ(n2[1], 1u);
+  EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Csr, DuplicateEdgesCollapsed) {
+  const CsrGraph g = CsrGraph::from_edges(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Csr, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(CsrGraph::from_edges(2, {{0, 5}}), std::logic_error);
+}
+
+TEST(Csr, HasEdge) {
+  const CsrGraph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(Csr, FromCsrValidatesShape) {
+  EXPECT_THROW(CsrGraph::from_csr({0, 2}, {1}), std::logic_error);
+  EXPECT_THROW(CsrGraph::from_csr({0, 2}, {1, 0}), std::logic_error);  // unsorted
+  const CsrGraph g = CsrGraph::from_csr({0, 1, 2}, {1, 0});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Csr, SameNeighborsComparesRows) {
+  const CsrGraph a = triangle();
+  const CsrGraph b = CsrGraph::from_edges(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1},
+                                              {0, 2}, {2, 0}});
+  const CsrGraph c = CsrGraph::from_edges(3, {{0, 1}, {1, 0}});
+  EXPECT_TRUE(a.same_neighbors(0, b));
+  EXPECT_FALSE(a.same_neighbors(0, c));
+}
+
+Snapshot make_snapshot(const CsrGraph& g, float feature_seed) {
+  Snapshot s;
+  s.graph = g;
+  s.features = Matrix(g.num_vertices(), 2);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    s.features(v, 0) = feature_seed + static_cast<float>(v);
+  }
+  s.present.assign(g.num_vertices(), true);
+  return s;
+}
+
+TEST(Snapshot, ValidateDetectsEdgeToAbsentVertex) {
+  Snapshot s = make_snapshot(triangle(), 0.0f);
+  s.present[2] = false;
+  EXPECT_THROW(s.validate(), std::logic_error);
+}
+
+TEST(Snapshot, ValidateAcceptsConsistent) {
+  const Snapshot s = make_snapshot(triangle(), 0.0f);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(DynamicGraph, RejectsShapeMismatch) {
+  Snapshot a = make_snapshot(triangle(), 0.0f);
+  Snapshot b = make_snapshot(CsrGraph::from_edges(4, {{0, 1}, {1, 0}}), 0.0f);
+  b.present.assign(4, true);
+  std::vector<Snapshot> v;
+  v.push_back(a);
+  v.push_back(b);
+  EXPECT_THROW(DynamicGraph("bad", std::move(v)), std::logic_error);
+}
+
+TEST(Delta, DetectsEdgeAndFeatureChanges) {
+  Snapshot a = make_snapshot(triangle(), 0.0f);
+  Snapshot b = a;
+  // Remove edge 0->2, add edge 1->1? no self loops in builder; add via CSR.
+  b.graph = CsrGraph::from_edges(3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}});
+  b.features(1, 0) += 1.0f;
+  const SnapshotDelta d = diff_snapshots(a, b);
+  EXPECT_EQ(d.added_edges.size(), 0u);
+  ASSERT_EQ(d.removed_edges.size(), 2u);  // 0->2 and 2->0
+  EXPECT_EQ(d.removed_edges[0].first, 0u);
+  EXPECT_EQ(d.removed_edges[0].second, 2u);
+  ASSERT_EQ(d.feature_changed.size(), 1u);
+  EXPECT_EQ(d.feature_changed[0], 1u);
+  EXPECT_TRUE(d.appeared.empty());
+  EXPECT_TRUE(d.disappeared.empty());
+}
+
+TEST(Delta, DetectsPresenceToggles) {
+  Snapshot a = make_snapshot(triangle(), 0.0f);
+  Snapshot b = a;
+  b.graph = CsrGraph::from_edges(3, {{0, 1}, {1, 0}});
+  b.present[2] = false;
+  const SnapshotDelta d = diff_snapshots(a, b);
+  ASSERT_EQ(d.disappeared.size(), 1u);
+  EXPECT_EQ(d.disappeared[0], 2u);
+}
+
+TEST(Delta, IdenticalSnapshotsProduceEmptyDelta) {
+  const Snapshot a = make_snapshot(triangle(), 1.0f);
+  const SnapshotDelta d = diff_snapshots(a, a);
+  EXPECT_EQ(d.total_edge_changes(), 0u);
+  EXPECT_TRUE(d.feature_changed.empty());
+}
+
+}  // namespace
+}  // namespace tagnn

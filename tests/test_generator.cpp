@@ -1,0 +1,111 @@
+// Tests for the synthetic dynamic-graph generator and dataset presets.
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "graph/delta.hpp"
+#include "graph/generator.hpp"
+
+namespace tagnn {
+namespace {
+
+GeneratorConfig small_config() {
+  GeneratorConfig cfg;
+  cfg.num_vertices = 500;
+  cfg.target_edges = 4000;
+  cfg.feature_dim = 8;
+  cfg.num_snapshots = 5;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Generator, ProducesRequestedShape) {
+  const DynamicGraph g = generate_dynamic_graph(small_config());
+  EXPECT_EQ(g.num_snapshots(), 5u);
+  EXPECT_EQ(g.num_vertices(), 500u);
+  EXPECT_EQ(g.feature_dim(), 8u);
+  EXPECT_GT(g.snapshot(0).graph.num_edges(), 3000u);
+}
+
+TEST(Generator, SnapshotsValidate) {
+  const DynamicGraph g = generate_dynamic_graph(small_config());
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Generator, DeterministicInSeed) {
+  const DynamicGraph a = generate_dynamic_graph(small_config());
+  const DynamicGraph b = generate_dynamic_graph(small_config());
+  for (SnapshotId t = 0; t < a.num_snapshots(); ++t) {
+    EXPECT_EQ(a.snapshot(t).graph.num_edges(), b.snapshot(t).graph.num_edges());
+    EXPECT_TRUE(a.snapshot(t).features == b.snapshot(t).features);
+  }
+}
+
+TEST(Generator, SeedChangesOutput) {
+  GeneratorConfig c2 = small_config();
+  c2.seed = 78;
+  const DynamicGraph a = generate_dynamic_graph(small_config());
+  const DynamicGraph b = generate_dynamic_graph(c2);
+  EXPECT_FALSE(a.snapshot(0).features == b.snapshot(0).features);
+}
+
+TEST(Generator, EdgesAreUndirected) {
+  const DynamicGraph g = generate_dynamic_graph(small_config());
+  const CsrGraph& s0 = g.snapshot(0).graph;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : s0.neighbors(v)) {
+      EXPECT_TRUE(s0.has_edge(u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(Generator, ConsecutiveSnapshotsActuallyChange) {
+  const DynamicGraph g = generate_dynamic_graph(small_config());
+  const SnapshotDelta d = diff_snapshots(g.snapshot(0), g.snapshot(1));
+  EXPECT_GT(d.total_edge_changes() + d.feature_changed.size(), 0u);
+}
+
+TEST(Generator, ChurnIsBounded) {
+  // With small churn rates, most vertices keep their features between
+  // consecutive snapshots.
+  const DynamicGraph g = generate_dynamic_graph(small_config());
+  const SnapshotDelta d = diff_snapshots(g.snapshot(0), g.snapshot(1));
+  EXPECT_LT(d.feature_changed.size(), g.num_vertices() / 4);
+}
+
+TEST(Generator, PowerLawHasHubs) {
+  GeneratorConfig cfg = small_config();
+  cfg.num_vertices = 2000;
+  cfg.target_edges = 16000;
+  const DynamicGraph g = generate_dynamic_graph(cfg);
+  const CsrGraph& s = g.snapshot(0).graph;
+  std::size_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    max_deg = std::max(max_deg, s.degree(v));
+  const double avg =
+      static_cast<double>(s.num_edges()) / g.num_vertices();
+  EXPECT_GT(static_cast<double>(max_deg), 5.0 * avg);
+}
+
+TEST(Datasets, AllPresetsLoadAtTinyScale) {
+  for (const auto& name : datasets::names()) {
+    const DynamicGraph g = datasets::load(name, 0.05, 3);
+    EXPECT_GT(g.num_vertices(), 0u) << name;
+    EXPECT_EQ(g.num_snapshots(), 3u) << name;
+    EXPECT_NO_THROW(g.validate()) << name;
+  }
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(datasets::config("nope"), std::logic_error);
+}
+
+TEST(Datasets, RelativeSizesPreserved) {
+  const auto hp = datasets::config("HP");
+  const auto fk = datasets::config("FK");
+  const auto ml = datasets::config("ML");
+  EXPECT_GT(fk.num_vertices, hp.num_vertices);
+  EXPECT_GT(ml.feature_dim, fk.feature_dim);  // ML has widest features
+}
+
+}  // namespace
+}  // namespace tagnn

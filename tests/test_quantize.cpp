@@ -1,0 +1,94 @@
+// Tests for the reduced-precision datapath.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/datasets.hpp"
+#include "nn/quantize.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+namespace {
+
+TEST(Quantize, ScaleMapsMaxToTopCode) {
+  std::vector<float> x{0.5f, -2.0f, 1.0f};
+  const float s = quantization_scale(x, 8);
+  EXPECT_NEAR(s, 2.0f / 127.0f, 1e-6);
+  EXPECT_EQ(quantization_scale(std::vector<float>(4, 0.0f), 8), 0.0f);
+}
+
+TEST(Quantize, FakeQuantizeIsIdempotent) {
+  Rng rng(1);
+  std::vector<float> x(64);
+  for (auto& v : x) v = rng.normal();
+  const float s = quantization_scale(x, 6);
+  auto once = x;
+  fake_quantize(once, s);
+  auto twice = once;
+  fake_quantize(twice, s);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Quantize, ErrorBoundedByHalfStep) {
+  Rng rng(2);
+  std::vector<float> x(256);
+  for (auto& v : x) v = rng.uniform(-3.0f, 3.0f);
+  const float s = quantization_scale(x, 8);
+  auto q = x;
+  fake_quantize(q, s);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(std::fabs(q[i] - x[i]), 0.5f * s + 1e-7f);
+  }
+}
+
+TEST(Quantize, ZeroScaleIsNoop) {
+  std::vector<float> x{1.0f, 2.0f};
+  fake_quantize(x, 0.0f);
+  EXPECT_FLOAT_EQ(x[0], 1.0f);
+}
+
+TEST(Quantize, WeightsQuantizedPerTensor) {
+  const ModelConfig cfg = ModelConfig::preset("T-GCN");
+  const DgnnWeights w = DgnnWeights::init(cfg, 24, 5);
+  const DgnnWeights q = quantize_weights(w, {.activation_bits = 8,
+                                             .weight_bits = 4});
+  // 4-bit weights: at most 15 distinct magnitudes per tensor.
+  std::set<float> values;
+  for (std::size_t i = 0; i < q.gnn[0].size(); ++i) {
+    values.insert(std::fabs(q.gnn[0].data()[i]));
+  }
+  EXPECT_LE(values.size(), 9u);  // 8 magnitudes + zero
+}
+
+class QuantBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantBits, HigherPrecisionIsCloserToFp32) {
+  const DynamicGraph g = datasets::load("GT", 0.1, 5);
+  const DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset("T-GCN"), g.feature_dim(), 9);
+  const EngineResult fp32 = ReferenceEngine().run(g, w);
+  const int bits = GetParam();
+  const EngineResult lo =
+      run_quantized(g, w, {.activation_bits = bits, .weight_bits = bits});
+  const EngineResult hi = run_quantized(
+      g, w, {.activation_bits = bits + 4, .weight_bits = bits + 4});
+  const float err_lo = max_abs_diff(fp32.final_hidden, lo.final_hidden);
+  const float err_hi = max_abs_diff(fp32.final_hidden, hi.final_hidden);
+  EXPECT_LT(err_hi, err_lo);
+  EXPECT_GT(err_lo, 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, QuantBits, ::testing::Values(4, 6, 8));
+
+TEST(Quantize, SixteenBitIsNearlyExact) {
+  const DynamicGraph g = datasets::load("GT", 0.1, 5);
+  const DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset("GC-LSTM"), g.feature_dim(), 9);
+  const EngineResult fp32 = ReferenceEngine().run(g, w);
+  const EngineResult q16 =
+      run_quantized(g, w, {.activation_bits = 16, .weight_bits = 16});
+  EXPECT_LT(max_abs_diff(fp32.final_hidden, q16.final_hidden), 5e-3f);
+}
+
+}  // namespace
+}  // namespace tagnn

@@ -1,0 +1,56 @@
+// Tests for the JSON run report and TagnnConfig validation.
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "tagnn/report.hpp"
+
+namespace tagnn {
+namespace {
+
+TEST(JsonEscape, HandlesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Report, ContainsAllSections) {
+  const DynamicGraph g = datasets::load("GT", 0.1, 4);
+  const DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset("T-GCN"), g.feature_dim(), 1);
+  TagnnConfig cfg;
+  const AccelResult r = TagnnAccelerator(cfg).run(g, w);
+  const std::string j = json_report("GT/T-GCN", cfg, r);
+  for (const char* key :
+       {"\"workload\"", "\"config\"", "\"cycles\"", "\"seconds\"",
+        "\"energy_j\"", "\"counts\"", "\"dcu_utilization\"",
+        "\"rnn_skip\"", "\"format\""}) {
+    EXPECT_NE(j.find(key), std::string::npos) << key;
+  }
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+}
+
+TEST(ConfigValidate, DefaultsAreValid) {
+  TagnnConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidate, RejectsBrokenConfigs) {
+  TagnnConfig cfg;
+  cfg.num_dcus = 0;
+  EXPECT_THROW(cfg.validate(), std::logic_error);
+
+  TagnnConfig th;
+  th.thresholds = {0.9f, 0.1f};  // inverted
+  EXPECT_THROW(th.validate(), std::logic_error);
+
+  TagnnConfig huge;
+  huge.num_dcus = 64;  // 16k MACs cannot fit the U280
+  EXPECT_THROW(huge.validate(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace tagnn

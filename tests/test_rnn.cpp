@@ -1,0 +1,175 @@
+// Tests for the LSTM/GRU cells: full vs delta paths, caching semantics,
+// and numerical sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/rnn.hpp"
+
+namespace tagnn {
+namespace {
+
+DgnnWeights make_weights(RnnKind kind, std::size_t dz = 6,
+                         std::size_t h = 5) {
+  ModelConfig cfg;
+  cfg.name = "test";
+  cfg.gnn_layers = 1;
+  cfg.gnn_hidden = dz;
+  cfg.rnn = kind;
+  cfg.rnn_hidden = h;
+  return DgnnWeights::init(cfg, dz, 7);
+}
+
+struct Vecs {
+  std::vector<float> x, h, c, cache;
+  explicit Vecs(const RnnCell& cell)
+      : x(cell.input_dim(), 0.0f),
+        h(cell.hidden(), 0.0f),
+        c(cell.cell_state_dim(), 0.0f),
+        cache(cell.cache_dim(), 0.0f) {}
+};
+
+class RnnCellKinds : public ::testing::TestWithParam<RnnKind> {};
+
+TEST_P(RnnCellKinds, FullUpdateBoundedOutputs) {
+  const DgnnWeights w = make_weights(GetParam());
+  const RnnCell cell(w);
+  Vecs v(cell);
+  Rng rng(1);
+  for (auto& e : v.x) e = rng.normal();
+  OpCounts counts;
+  cell.full_update(v.x, v.h, v.c, v.h, v.c, v.cache, counts);
+  for (float e : v.h) {
+    EXPECT_TRUE(std::isfinite(e));
+    EXPECT_LE(std::fabs(e), 1.0f);  // tanh-bounded
+  }
+  EXPECT_EQ(counts.rnn_full, 1u);
+  EXPECT_GT(counts.macs, 0.0);
+}
+
+TEST_P(RnnCellKinds, DeterministicGivenSameInputs) {
+  const DgnnWeights w = make_weights(GetParam());
+  const RnnCell cell(w);
+  Vecs a(cell), b(cell);
+  Rng rng(2);
+  for (std::size_t i = 0; i < a.x.size(); ++i) a.x[i] = b.x[i] = rng.normal();
+  OpCounts ca, cb;
+  cell.full_update(a.x, a.h, a.c, a.h, a.c, a.cache, ca);
+  cell.full_update(b.x, b.h, b.c, b.h, b.c, b.cache, cb);
+  EXPECT_EQ(a.h, b.h);
+  EXPECT_EQ(a.cache, b.cache);
+}
+
+// The delta path reuses the cached recurrent (h-part) contribution, so
+// it is only accurate once the hidden state is near its fixed point for
+// the current input — which is exactly the regime the similarity score
+// gates it to. These tests settle the cell first, as the policy would.
+TEST_P(RnnCellKinds, ZeroDeltaMatchesFullStepAtSteadyState) {
+  const DgnnWeights w = make_weights(GetParam());
+  const RnnCell cell(w);
+  Vecs exact(cell), approx(cell);
+  Rng rng(3);
+  std::vector<float> x(cell.input_dim());
+  for (auto& e : x) e = rng.normal();
+  OpCounts counts;
+  for (int i = 0; i < 100; ++i) {
+    cell.full_update(x, exact.h, exact.c, exact.h, exact.c, exact.cache,
+                     counts);
+    cell.full_update(x, approx.h, approx.c, approx.h, approx.c,
+                     approx.cache, counts);
+  }
+  // One more step: full vs zero-delta continuation.
+  cell.full_update(x, exact.h, exact.c, exact.h, exact.c, exact.cache,
+                   counts);
+  std::vector<float> dx(cell.input_dim(), 0.0f);
+  std::vector<float> dh0(cell.hidden(), 0.0f);
+  cell.delta_update(dx, dh0, approx.h, approx.c, approx.h, approx.c,
+                    approx.cache, counts);
+  for (std::size_t j = 0; j < exact.h.size(); ++j) {
+    EXPECT_NEAR(approx.h[j], exact.h[j], 1e-3f) << "j=" << j;
+  }
+  EXPECT_GT(counts.rnn_delta, 0u);
+  EXPECT_EQ(counts.delta_nnz, 0.0);
+}
+
+TEST_P(RnnCellKinds, DeltaApproximatesFullForSmallChanges) {
+  const DgnnWeights w = make_weights(GetParam());
+  const RnnCell cell(w);
+  Vecs exact(cell), approx(cell);
+  Rng rng(4);
+  std::vector<float> x0(cell.input_dim());
+  for (auto& e : x0) e = rng.normal();
+  OpCounts counts;
+  for (int i = 0; i < 100; ++i) {
+    cell.full_update(x0, exact.h, exact.c, exact.h, exact.c, exact.cache,
+                     counts);
+    cell.full_update(x0, approx.h, approx.c, approx.h, approx.c,
+                     approx.cache, counts);
+  }
+  // Perturb the input slightly and compare full vs delta continuation.
+  std::vector<float> x1(x0), dx(cell.input_dim());
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    const float d = 0.01f * rng.normal();
+    x1[i] += d;
+    dx[i] = d;
+  }
+  cell.full_update(x1, exact.h, exact.c, exact.h, exact.c, exact.cache,
+                   counts);
+  std::vector<float> dh(cell.hidden(), 0.0f);
+  cell.delta_update(dx, dh, approx.h, approx.c, approx.h, approx.c,
+                    approx.cache, counts);
+  for (std::size_t j = 0; j < exact.h.size(); ++j) {
+    EXPECT_NEAR(approx.h[j], exact.h[j], 0.05f) << "j=" << j;
+  }
+}
+
+TEST_P(RnnCellKinds, DeltaCheaperThanFull) {
+  const DgnnWeights w = make_weights(GetParam(), 16, 8);
+  const RnnCell cell(w);
+  Vecs v(cell);
+  OpCounts full, delta;
+  std::vector<float> x(cell.input_dim(), 0.5f);
+  cell.full_update(x, v.h, v.c, v.h, v.c, v.cache, full);
+  std::vector<float> dx(cell.input_dim(), 0.0f);
+  std::vector<float> dh(cell.hidden(), 0.0f);
+  dx[3] = 0.1f;  // single non-zero component
+  cell.delta_update(dx, dh, v.h, v.c, v.h, v.c, v.cache, delta);
+  EXPECT_LT(delta.macs, full.macs / 4);
+  EXPECT_EQ(delta.delta_nnz, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, RnnCellKinds,
+                         ::testing::Values(RnnKind::kLstm, RnnKind::kGru));
+
+TEST(RnnCell, CacheDims) {
+  const RnnCell lstm(make_weights(RnnKind::kLstm, 6, 5));
+  EXPECT_EQ(lstm.cache_dim(), 20u);
+  EXPECT_EQ(lstm.cell_state_dim(), 5u);
+  const RnnCell gru(make_weights(RnnKind::kGru, 6, 5));
+  EXPECT_EQ(gru.cache_dim(), 30u);
+  EXPECT_EQ(gru.cell_state_dim(), 0u);
+}
+
+TEST(RnnCell, LstmForgetsWithSaturatedForgetGate) {
+  // Sanity: repeated identical inputs drive h towards a fixed point.
+  const DgnnWeights w = make_weights(RnnKind::kLstm);
+  const RnnCell cell(w);
+  Vecs v(cell);
+  std::vector<float> x(cell.input_dim(), 0.3f);
+  OpCounts counts;
+  std::vector<float> prev_h;
+  float movement = 1.0f;
+  for (int i = 0; i < 200; ++i) {
+    prev_h = v.h;
+    cell.full_update(x, v.h, v.c, v.h, v.c, v.cache, counts);
+    movement = 0.0f;
+    for (std::size_t j = 0; j < v.h.size(); ++j) {
+      movement = std::max(movement, std::fabs(v.h[j] - prev_h[j]));
+    }
+  }
+  EXPECT_LT(movement, 1e-3f);
+}
+
+}  // namespace
+}  // namespace tagnn

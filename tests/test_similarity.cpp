@@ -1,0 +1,109 @@
+// Tests for the similarity score θ and the cell-skip policy.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/cell_skip.hpp"
+#include "nn/similarity.hpp"
+
+namespace tagnn {
+namespace {
+
+const std::vector<VertexClass> kAllStable(16, VertexClass::kStable);
+
+TEST(Similarity, IdenticalFeatureAndTopologyGivesOne) {
+  std::vector<float> z{1.0f, 2.0f, 3.0f};
+  std::vector<VertexId> n{1, 2, 3};
+  EXPECT_NEAR(similarity_score(z, z, n, n, kAllStable), 1.0f, 1e-6);
+}
+
+TEST(Similarity, OppositeFeaturesGiveMinusOne) {
+  std::vector<float> a{1.0f, 0.0f}, b{-1.0f, 0.0f};
+  std::vector<VertexId> n{1};
+  EXPECT_NEAR(similarity_score(a, b, n, n, kAllStable), -1.0f, 1e-6);
+}
+
+TEST(Similarity, AffectedCommonNeighborsLowerScore) {
+  std::vector<float> z{1.0f, 1.0f};
+  std::vector<VertexId> n{1, 2, 3, 4};
+  std::vector<VertexClass> clazz(16, VertexClass::kAffected);
+  clazz[1] = VertexClass::kStable;
+  clazz[2] = VertexClass::kUnaffected;
+  // 2 of 4 common neighbours are non-affected.
+  EXPECT_NEAR(similarity_score(z, z, n, n, clazz), 0.5f, 1e-6);
+}
+
+TEST(Similarity, PartialNeighborOverlap) {
+  std::vector<float> z{1.0f};
+  std::vector<VertexId> np{1, 2, 3}, nc{2, 3, 4, 5};
+  // Common = {2, 3}, all stable -> ratio 1.
+  EXPECT_NEAR(similarity_score(z, z, np, nc, kAllStable), 1.0f, 1e-6);
+  std::vector<VertexClass> clazz(16, VertexClass::kAffected);
+  clazz[2] = VertexClass::kStable;
+  EXPECT_NEAR(similarity_score(z, z, np, nc, clazz), 0.5f, 1e-6);
+}
+
+TEST(Similarity, EmptyNeighborhoods) {
+  std::vector<float> z{1.0f};
+  std::vector<VertexId> none;
+  std::vector<VertexId> some{1};
+  // Both empty: topologically consistent.
+  EXPECT_NEAR(similarity_score(z, z, none, none, kAllStable), 1.0f, 1e-6);
+  // Complete turnover: no common neighbour -> 0.
+  EXPECT_NEAR(similarity_score(z, z, some, none, kAllStable), 0.0f, 1e-6);
+}
+
+TEST(Similarity, ScoreInUnitRange) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<float> a(4), b(4);
+    for (auto& x : a) x = rng.normal();
+    for (auto& x : b) x = rng.normal();
+    std::vector<VertexId> na, nb;
+    for (VertexId u = 0; u < 8; ++u) {
+      if (rng.chance(0.5)) na.push_back(u);
+      if (rng.chance(0.5)) nb.push_back(u);
+    }
+    std::vector<VertexClass> clazz(8);
+    for (auto& c : clazz) {
+      c = rng.chance(0.5) ? VertexClass::kAffected : VertexClass::kStable;
+    }
+    const float s = similarity_score(a, b, na, nb, clazz);
+    EXPECT_GE(s, -1.0f);
+    EXPECT_LE(s, 1.0f);
+  }
+}
+
+TEST(Similarity, CountsRecorded) {
+  std::vector<float> z{1.0f, 2.0f};
+  std::vector<VertexId> n{1, 2};
+  OpCounts c;
+  similarity_score(z, z, n, n, kAllStable, &c);
+  EXPECT_EQ(c.similarity_scores, 1u);
+  EXPECT_GT(c.macs, 0.0);
+}
+
+TEST(CellSkip, ThresholdDecisions) {
+  const SkipThresholds th{-0.5f, 0.5f};
+  EXPECT_EQ(decide_cell_mode(0.9f, th), CellMode::kSkip);
+  EXPECT_EQ(decide_cell_mode(0.5f, th), CellMode::kDelta);   // inclusive
+  EXPECT_EQ(decide_cell_mode(0.0f, th), CellMode::kDelta);
+  EXPECT_EQ(decide_cell_mode(-0.5f, th), CellMode::kDelta);  // inclusive
+  EXPECT_EQ(decide_cell_mode(-0.6f, th), CellMode::kFull);
+}
+
+TEST(CellSkip, NeverPolicyAlwaysFull) {
+  const SkipThresholds th = SkipThresholds::never();
+  EXPECT_EQ(decide_cell_mode(1.0f, th), CellMode::kFull);
+  EXPECT_EQ(decide_cell_mode(0.0f, th), CellMode::kFull);
+}
+
+TEST(CellSkip, ModeNames) {
+  EXPECT_STREQ(to_string(CellMode::kSkip), "skip");
+  EXPECT_STREQ(to_string(CellMode::kDelta), "delta");
+  EXPECT_STREQ(to_string(CellMode::kFull), "full");
+}
+
+}  // namespace
+}  // namespace tagnn

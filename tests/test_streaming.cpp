@@ -1,0 +1,116 @@
+// Tests for StreamingInference and the StreamCarry mechanism: bitwise
+// equivalence with batch runs, partial windows, counters.
+#include <gtest/gtest.h>
+
+#include "graph/datasets.hpp"
+#include "nn/streaming.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+namespace {
+
+struct Scenario {
+  DynamicGraph g;
+  DgnnWeights w;
+};
+
+Scenario make(const std::string& model = "T-GCN", double scale = 0.12,
+              std::size_t snaps = 8) {
+  DynamicGraph g = datasets::load("GT", scale, snaps);
+  DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset(model), g.feature_dim(), 17);
+  return {std::move(g), std::move(w)};
+}
+
+class StreamingModels : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(StreamingModels, MatchesBatchRunBitExact) {
+  const Scenario s = make(GetParam());
+  EngineOptions opts;  // defaults: window 4, skipping on
+  const EngineResult batch = ConcurrentEngine(opts).run(s.g, s.w);
+
+  StreamingInference stream(s.w, opts);
+  std::vector<Matrix> streamed;
+  for (SnapshotId t = 0; t < s.g.num_snapshots(); ++t) {
+    for (Matrix& m : stream.push(s.g.snapshot(t))) {
+      streamed.push_back(std::move(m));
+    }
+  }
+  for (Matrix& m : stream.flush()) streamed.push_back(std::move(m));
+
+  ASSERT_EQ(streamed.size(), batch.outputs.size());
+  for (std::size_t t = 0; t < streamed.size(); ++t) {
+    EXPECT_EQ(max_abs_diff(streamed[t], batch.outputs[t]), 0.0f)
+        << "snapshot " << t;
+  }
+  EXPECT_EQ(max_abs_diff(stream.state(), batch.final_hidden), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, StreamingModels,
+                         ::testing::Values("T-GCN", "GC-LSTM", "CD-GCN"));
+
+TEST(Streaming, PartialFinalWindowViaFlush) {
+  const Scenario s = make("T-GCN", 0.12, 7);  // 7 = one full + partial
+  EngineOptions opts;
+  opts.window_size = 4;
+  const EngineResult batch = ConcurrentEngine(opts).run(s.g, s.w);
+
+  StreamingInference stream(s.w, opts);
+  std::size_t returned = 0;
+  for (SnapshotId t = 0; t < s.g.num_snapshots(); ++t) {
+    returned += stream.push(s.g.snapshot(t)).size();
+  }
+  EXPECT_EQ(returned, 4u);  // only the first full window so far
+  EXPECT_EQ(stream.snapshots_processed(), 4u);
+  const auto tail = stream.flush();
+  EXPECT_EQ(tail.size(), 3u);
+  EXPECT_EQ(stream.snapshots_processed(), 7u);
+  EXPECT_EQ(max_abs_diff(stream.state(), batch.final_hidden), 0.0f);
+}
+
+TEST(Streaming, WindowOfOneStreamsEverySnapshot) {
+  const Scenario s = make("T-GCN", 0.1, 4);
+  EngineOptions opts;
+  opts.window_size = 1;
+  StreamingInference stream(s.w, opts);
+  for (SnapshotId t = 0; t < s.g.num_snapshots(); ++t) {
+    EXPECT_EQ(stream.push(s.g.snapshot(t)).size(), 1u);
+  }
+  EXPECT_TRUE(stream.flush().empty());
+  EXPECT_EQ(stream.snapshots_seen(), 4u);
+}
+
+TEST(Streaming, CountsAccumulate) {
+  const Scenario s = make();
+  StreamingInference stream(s.w, {});
+  for (SnapshotId t = 0; t < s.g.num_snapshots(); ++t) {
+    stream.push(s.g.snapshot(t));
+  }
+  stream.flush();
+  EXPECT_GT(stream.total_counts().macs, 0.0);
+  EXPECT_GT(stream.total_counts().rnn_full, 0u);
+}
+
+TEST(Streaming, ShapeChangeRejected) {
+  const Scenario s = make();
+  StreamingInference stream(s.w, {});
+  stream.push(s.g.snapshot(0));
+  Snapshot bad;
+  bad.graph = CsrGraph::from_edges(3, {});
+  bad.features = Matrix(3, s.g.feature_dim());
+  bad.present.assign(3, true);
+  EXPECT_THROW(stream.push(bad), std::logic_error);
+}
+
+TEST(StreamCarry, ColdStartEqualsPlainRun) {
+  const Scenario s = make();
+  const EngineResult a = ConcurrentEngine().run(s.g, s.w);
+  StreamCarry carry;
+  const EngineResult b = ConcurrentEngine().run(s.g, s.w, &carry);
+  EXPECT_EQ(max_abs_diff(a.final_hidden, b.final_hidden), 0.0f);
+  EXPECT_EQ(carry.global_offset, s.g.num_snapshots());
+  EXPECT_TRUE(carry.prev_snapshot.has_value());
+}
+
+}  // namespace
+}  // namespace tagnn

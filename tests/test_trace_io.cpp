@@ -1,0 +1,100 @@
+// Tests for the binary trace format: round-trips, validation of
+// malformed inputs, file-level helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "graph/datasets.hpp"
+#include "graph/trace_io.hpp"
+#include "nn/engine.hpp"
+#include "tensor/ops.hpp"
+
+namespace tagnn {
+namespace {
+
+DynamicGraph sample() { return datasets::load("GT", 0.1, 4); }
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const DynamicGraph g = sample();
+  std::stringstream ss;
+  write_trace(g, ss);
+  const DynamicGraph h = read_trace(ss);
+
+  EXPECT_EQ(h.name(), g.name());
+  ASSERT_EQ(h.num_snapshots(), g.num_snapshots());
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.feature_dim(), g.feature_dim());
+  for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
+    const Snapshot& a = g.snapshot(t);
+    const Snapshot& b = h.snapshot(t);
+    EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ASSERT_TRUE(a.graph.same_neighbors(v, b.graph)) << v;
+      EXPECT_EQ(a.present[v], b.present[v]);
+    }
+    EXPECT_TRUE(a.features == b.features);
+  }
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const DynamicGraph g = sample();
+  const std::string path = "/tmp/tagnn_test_trace.tgt";
+  write_trace_file(g, path);
+  const DynamicGraph h = read_trace_file(path);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_TRUE(h.snapshot(0).features == g.snapshot(0).features);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "NOPE garbage";
+  EXPECT_THROW(read_trace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, TruncationRejected) {
+  const DynamicGraph g = sample();
+  std::stringstream ss;
+  write_trace(g, ss);
+  const std::string full = ss.str();
+  for (const std::size_t cut :
+       {std::size_t{5}, std::size_t{20}, full.size() / 2}) {
+    std::stringstream trunc(full.substr(0, cut));
+    EXPECT_THROW(read_trace(trunc), std::runtime_error) << "cut=" << cut;
+  }
+}
+
+TEST(TraceIo, CorruptNeighborRejected) {
+  const DynamicGraph g = sample();
+  std::stringstream ss;
+  write_trace(g, ss);
+  std::string data = ss.str();
+  // Stomp a byte in the neighbour array region with an absurd value.
+  const std::size_t header = 4 + 4 + 4 + 4 + 4 + 4 + g.name().size();
+  const std::size_t offsets =
+      8 + (static_cast<std::size_t>(g.num_vertices()) + 1) * 8;
+  data[header + offsets + 3] = '\x7f';  // high byte of first neighbor id
+  std::stringstream bad(data);
+  EXPECT_THROW(read_trace(bad), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file("/nonexistent/path.tgt"),
+               std::runtime_error);
+}
+
+TEST(TraceIo, RoundTrippedGraphRunsThroughEngines) {
+  const DynamicGraph g = sample();
+  std::stringstream ss;
+  write_trace(g, ss);
+  const DynamicGraph h = read_trace(ss);
+  const DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset("T-GCN"), h.feature_dim(), 1);
+  const EngineResult a = ReferenceEngine().run(g, w);
+  const EngineResult b = ReferenceEngine().run(h, w);
+  EXPECT_EQ(max_abs_diff(a.final_hidden, b.final_hidden), 0.0f);
+}
+
+}  // namespace
+}  // namespace tagnn

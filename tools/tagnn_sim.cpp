@@ -1,0 +1,184 @@
+// tagnn_sim — command-line driver for the TaGNN accelerator simulator.
+//
+// Runs DGNN inference on a synthetic dataset or a .tgt trace file and
+// reports simulated time, energy, traffic, and skip statistics; can
+// emit a single CSV row for scripting sweeps.
+//
+// Usage:
+//   tagnn_sim [--dataset HP|GT|ML|EP|FK] [--trace file.tgt]
+//             [--model CD-GCN|GC-LSTM|T-GCN] [--scale S]
+//             [--snapshots N] [--window K] [--dcus N] [--macs-per-dcu N]
+//             [--format ocsr|csr|pma] [--no-oadl] [--no-adsc]
+//             [--theta-s X] [--theta-e X] [--engine accel|reference|
+//             concurrent] [--csv] [--seed N]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "graph/datasets.hpp"
+#include "graph/trace_io.hpp"
+#include "nn/engine.hpp"
+#include "tagnn/accelerator.hpp"
+#include "tagnn/report.hpp"
+
+namespace {
+
+using namespace tagnn;
+
+struct Options {
+  std::string dataset = "GT";
+  std::string trace;
+  std::string model = "T-GCN";
+  std::string engine = "accel";
+  double scale = 0.3;
+  std::size_t snapshots = 8;
+  TagnnConfig cfg;
+  std::uint64_t seed = 42;
+  bool csv = false;
+  bool json = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--dataset HP|GT|ML|EP|FK] [--trace file.tgt]\n"
+         "       [--model CD-GCN|GC-LSTM|T-GCN] [--scale S] [--snapshots N]\n"
+         "       [--window K] [--dcus N] [--macs-per-dcu N]\n"
+         "       [--format ocsr|csr|pma] [--no-oadl] [--no-adsc]\n"
+         "       [--theta-s X] [--theta-e X]\n"
+         "       [--engine accel|reference|concurrent] [--csv] [--seed N]\n";
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--dataset") {
+      o.dataset = need(i);
+    } else if (a == "--trace") {
+      o.trace = need(i);
+    } else if (a == "--model") {
+      o.model = need(i);
+    } else if (a == "--engine") {
+      o.engine = need(i);
+    } else if (a == "--scale") {
+      o.scale = std::atof(need(i));
+    } else if (a == "--snapshots") {
+      o.snapshots = static_cast<std::size_t>(std::atoi(need(i)));
+    } else if (a == "--window") {
+      o.cfg.window = static_cast<SnapshotId>(std::atoi(need(i)));
+    } else if (a == "--dcus") {
+      o.cfg.num_dcus = static_cast<std::size_t>(std::atoi(need(i)));
+    } else if (a == "--macs-per-dcu") {
+      o.cfg.cpes_per_dcu = static_cast<std::size_t>(std::atoi(need(i)));
+      o.cfg.apes_per_dcu = o.cfg.cpes_per_dcu / 2;
+    } else if (a == "--format") {
+      const std::string f = need(i);
+      o.cfg.format = f == "csr"   ? StorageFormat::kCsr
+                     : f == "pma" ? StorageFormat::kPma
+                                  : StorageFormat::kOcsr;
+    } else if (a == "--no-oadl") {
+      o.cfg.enable_oadl = false;
+    } else if (a == "--no-adsc") {
+      o.cfg.enable_adsc = false;
+    } else if (a == "--theta-s") {
+      o.cfg.thresholds.theta_s = static_cast<float>(std::atof(need(i)));
+    } else if (a == "--theta-e") {
+      o.cfg.thresholds.theta_e = static_cast<float>(std::atof(need(i)));
+    } else if (a == "--seed") {
+      o.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--csv") {
+      o.csv = true;
+    } else if (a == "--json") {
+      o.json = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+    } else {
+      std::cerr << "unknown flag: " << a << "\n";
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+int run(Options o) {
+  const DynamicGraph g =
+      o.trace.empty() ? datasets::load(o.dataset, o.scale, o.snapshots)
+                      : read_trace_file(o.trace);
+  const DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset(o.model), g.feature_dim(),
+                        o.seed);
+
+  if (o.engine == "reference" || o.engine == "concurrent") {
+    EngineOptions eo;
+    eo.window_size = o.cfg.window;
+    eo.gnn_reuse = o.cfg.enable_oadl;
+    eo.cell_skip = o.cfg.enable_adsc;
+    eo.thresholds = o.cfg.thresholds;
+    eo.store_outputs = false;
+    const EngineResult r = o.engine == "reference"
+                               ? ReferenceEngine(eo).run(g, w)
+                               : ConcurrentEngine(eo).run(g, w);
+    const OpCounts c = r.total_counts();
+    if (o.csv) {
+      std::cout << o.engine << ',' << g.name() << ',' << o.model << ','
+                << c.macs << ',' << c.total_bytes() << ','
+                << c.redundant_bytes << ',' << r.seconds.total() << '\n';
+    } else {
+      std::cout << o.engine << " engine on " << g.name() << " / " << o.model
+                << ": " << c.macs / 1e6 << " MMACs, "
+                << c.total_bytes() / 1e6 << " MB traffic, wall "
+                << r.seconds.total() << " s\n";
+    }
+    return 0;
+  }
+
+  o.cfg.validate();
+  const AccelResult r = TagnnAccelerator(o.cfg).run(g, w);
+  const OpCounts c = r.functional.total_counts();
+  if (o.json) {
+    write_json_report(std::cout, g.name() + "/" + o.model, o.cfg, r);
+  } else if (o.csv) {
+    std::cout << "tagnn," << g.name() << ',' << o.model << ','
+              << to_string(o.cfg.format) << ',' << o.cfg.num_dcus << ','
+              << o.cfg.window << ',' << r.cycles.total << ',' << r.seconds
+              << ',' << r.dram_bytes << ',' << r.energy.total() << ','
+              << c.rnn_skip << ',' << c.rnn_delta << ',' << c.rnn_full
+              << '\n';
+  } else {
+    std::cout << "TaGNN accelerator on " << g.name() << " / " << o.model
+              << " (window " << o.cfg.window << ", " << o.cfg.num_dcus
+              << " DCUs, " << to_string(o.cfg.format) << ")\n"
+              << "  cycles:  " << r.cycles.total << " ("
+              << r.seconds * 1e3 << " ms @" << o.cfg.clock_mhz << " MHz)\n"
+              << "    msdl " << r.cycles.msdl << " | gnn " << r.cycles.gnn
+              << " | rnn " << r.cycles.rnn << " | mem " << r.cycles.memory
+              << "\n"
+              << "  HBM:     " << r.dram_bytes / 1e6 << " MB\n"
+              << "  energy:  " << r.energy.total() * 1e3 << " mJ (compute "
+              << r.energy.compute_j * 1e3 << ", sram "
+              << r.energy.sram_j * 1e3 << ", dram "
+              << r.energy.dram_j * 1e3 << ", static "
+              << r.energy.static_j * 1e3 << ")\n"
+              << "  DCU util " << 100 * r.dcu_utilization << "% | RNN "
+              << c.rnn_skip << " skip / " << c.rnn_delta << " delta / "
+              << c.rnn_full << " full\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
