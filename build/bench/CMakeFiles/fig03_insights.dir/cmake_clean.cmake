@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_insights.dir/fig03_insights.cpp.o"
+  "CMakeFiles/fig03_insights.dir/fig03_insights.cpp.o.d"
+  "fig03_insights"
+  "fig03_insights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_insights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_software.dir/fig08_software.cpp.o"
+  "CMakeFiles/fig08_software.dir/fig08_software.cpp.o.d"
+  "fig08_software"
+  "fig08_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

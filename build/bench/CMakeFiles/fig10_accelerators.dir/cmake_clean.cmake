@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_accelerators.dir/fig10_accelerators.cpp.o"
+  "CMakeFiles/fig10_accelerators.dir/fig10_accelerators.cpp.o.d"
+  "fig10_accelerators"
+  "fig10_accelerators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_accelerators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

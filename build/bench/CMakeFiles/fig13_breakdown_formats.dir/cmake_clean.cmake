@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_breakdown_formats.dir/fig13_breakdown_formats.cpp.o"
+  "CMakeFiles/fig13_breakdown_formats.dir/fig13_breakdown_formats.cpp.o.d"
+  "fig13_breakdown_formats"
+  "fig13_breakdown_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_breakdown_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

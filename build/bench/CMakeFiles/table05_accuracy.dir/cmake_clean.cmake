@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_accuracy.dir/table05_accuracy.cpp.o"
+  "CMakeFiles/table05_accuracy.dir/table05_accuracy.cpp.o.d"
+  "table05_accuracy"
+  "table05_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

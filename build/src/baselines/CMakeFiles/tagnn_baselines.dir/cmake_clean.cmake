@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagnn_baselines.dir/accelerators.cpp.o"
+  "CMakeFiles/tagnn_baselines.dir/accelerators.cpp.o.d"
+  "CMakeFiles/tagnn_baselines.dir/platform.cpp.o"
+  "CMakeFiles/tagnn_baselines.dir/platform.cpp.o.d"
+  "libtagnn_baselines.a"
+  "libtagnn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagnn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtagnn_baselines.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagnn_common.dir/rng.cpp.o"
+  "CMakeFiles/tagnn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tagnn_common.dir/table.cpp.o"
+  "CMakeFiles/tagnn_common.dir/table.cpp.o.d"
+  "CMakeFiles/tagnn_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/tagnn_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/tagnn_common.dir/types.cpp.o"
+  "CMakeFiles/tagnn_common.dir/types.cpp.o.d"
+  "libtagnn_common.a"
+  "libtagnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/affected_subgraph.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/affected_subgraph.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/affected_subgraph.cpp.o.d"
+  "/root/repo/src/graph/classify.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/classify.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/classify.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/datasets.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/datasets.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/datasets.cpp.o.d"
+  "/root/repo/src/graph/delta.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/delta.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/delta.cpp.o.d"
+  "/root/repo/src/graph/dynamic_graph.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/dynamic_graph.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/dynamic_graph.cpp.o.d"
+  "/root/repo/src/graph/formats.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/formats.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/formats.cpp.o.d"
+  "/root/repo/src/graph/generator.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/generator.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/generator.cpp.o.d"
+  "/root/repo/src/graph/incremental.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/incremental.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/incremental.cpp.o.d"
+  "/root/repo/src/graph/ocsr.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/ocsr.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/ocsr.cpp.o.d"
+  "/root/repo/src/graph/pma.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/pma.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/pma.cpp.o.d"
+  "/root/repo/src/graph/snapshot.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/snapshot.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/snapshot.cpp.o.d"
+  "/root/repo/src/graph/trace_io.cpp" "src/graph/CMakeFiles/tagnn_graph.dir/trace_io.cpp.o" "gcc" "src/graph/CMakeFiles/tagnn_graph.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tagnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tagnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagnn_graph.dir/affected_subgraph.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/affected_subgraph.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/classify.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/classify.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/csr.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/datasets.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/delta.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/delta.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/dynamic_graph.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/dynamic_graph.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/formats.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/formats.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/generator.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/generator.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/incremental.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/incremental.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/ocsr.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/ocsr.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/pma.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/pma.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/snapshot.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/snapshot.cpp.o.d"
+  "CMakeFiles/tagnn_graph.dir/trace_io.cpp.o"
+  "CMakeFiles/tagnn_graph.dir/trace_io.cpp.o.d"
+  "libtagnn_graph.a"
+  "libtagnn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

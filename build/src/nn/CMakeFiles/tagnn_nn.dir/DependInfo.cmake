@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/accuracy.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/accuracy.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/accuracy.cpp.o.d"
+  "/root/repo/src/nn/approx.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/approx.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/approx.cpp.o.d"
+  "/root/repo/src/nn/concurrent_engine.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/concurrent_engine.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/concurrent_engine.cpp.o.d"
+  "/root/repo/src/nn/condense.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/condense.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/condense.cpp.o.d"
+  "/root/repo/src/nn/engine_detail.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/engine_detail.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/engine_detail.cpp.o.d"
+  "/root/repo/src/nn/evolve_gcn.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/evolve_gcn.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/evolve_gcn.cpp.o.d"
+  "/root/repo/src/nn/gcn.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/gcn.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/gcn.cpp.o.d"
+  "/root/repo/src/nn/model_config.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/model_config.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/model_config.cpp.o.d"
+  "/root/repo/src/nn/op_counts.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/op_counts.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/op_counts.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/quantize.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/quantize.cpp.o.d"
+  "/root/repo/src/nn/reference_engine.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/reference_engine.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/reference_engine.cpp.o.d"
+  "/root/repo/src/nn/rnn.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/rnn.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/rnn.cpp.o.d"
+  "/root/repo/src/nn/similarity.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/similarity.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/similarity.cpp.o.d"
+  "/root/repo/src/nn/streaming.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/streaming.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/streaming.cpp.o.d"
+  "/root/repo/src/nn/weights.cpp" "src/nn/CMakeFiles/tagnn_nn.dir/weights.cpp.o" "gcc" "src/nn/CMakeFiles/tagnn_nn.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/tagnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tagnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tagnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

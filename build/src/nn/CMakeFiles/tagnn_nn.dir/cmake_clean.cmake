@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagnn_nn.dir/accuracy.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/accuracy.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/approx.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/approx.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/concurrent_engine.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/concurrent_engine.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/condense.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/condense.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/engine_detail.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/engine_detail.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/evolve_gcn.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/evolve_gcn.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/gcn.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/gcn.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/model_config.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/model_config.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/op_counts.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/op_counts.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/quantize.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/quantize.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/reference_engine.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/reference_engine.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/rnn.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/rnn.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/similarity.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/similarity.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/streaming.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/streaming.cpp.o.d"
+  "CMakeFiles/tagnn_nn.dir/weights.cpp.o"
+  "CMakeFiles/tagnn_nn.dir/weights.cpp.o.d"
+  "libtagnn_nn.a"
+  "libtagnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

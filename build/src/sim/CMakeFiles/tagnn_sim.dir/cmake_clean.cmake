@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagnn_sim.dir/energy.cpp.o"
+  "CMakeFiles/tagnn_sim.dir/energy.cpp.o.d"
+  "CMakeFiles/tagnn_sim.dir/memory.cpp.o"
+  "CMakeFiles/tagnn_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/tagnn_sim.dir/pipeline.cpp.o"
+  "CMakeFiles/tagnn_sim.dir/pipeline.cpp.o.d"
+  "libtagnn_sim.a"
+  "libtagnn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagnn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

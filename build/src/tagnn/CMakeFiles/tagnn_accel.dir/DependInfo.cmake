@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tagnn/accelerator.cpp" "src/tagnn/CMakeFiles/tagnn_accel.dir/accelerator.cpp.o" "gcc" "src/tagnn/CMakeFiles/tagnn_accel.dir/accelerator.cpp.o.d"
+  "/root/repo/src/tagnn/config.cpp" "src/tagnn/CMakeFiles/tagnn_accel.dir/config.cpp.o" "gcc" "src/tagnn/CMakeFiles/tagnn_accel.dir/config.cpp.o.d"
+  "/root/repo/src/tagnn/dispatcher.cpp" "src/tagnn/CMakeFiles/tagnn_accel.dir/dispatcher.cpp.o" "gcc" "src/tagnn/CMakeFiles/tagnn_accel.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/tagnn/msdl.cpp" "src/tagnn/CMakeFiles/tagnn_accel.dir/msdl.cpp.o" "gcc" "src/tagnn/CMakeFiles/tagnn_accel.dir/msdl.cpp.o.d"
+  "/root/repo/src/tagnn/partition.cpp" "src/tagnn/CMakeFiles/tagnn_accel.dir/partition.cpp.o" "gcc" "src/tagnn/CMakeFiles/tagnn_accel.dir/partition.cpp.o.d"
+  "/root/repo/src/tagnn/report.cpp" "src/tagnn/CMakeFiles/tagnn_accel.dir/report.cpp.o" "gcc" "src/tagnn/CMakeFiles/tagnn_accel.dir/report.cpp.o.d"
+  "/root/repo/src/tagnn/resources.cpp" "src/tagnn/CMakeFiles/tagnn_accel.dir/resources.cpp.o" "gcc" "src/tagnn/CMakeFiles/tagnn_accel.dir/resources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tagnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tagnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tagnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tagnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tagnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

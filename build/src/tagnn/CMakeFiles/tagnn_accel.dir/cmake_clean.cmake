@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagnn_accel.dir/accelerator.cpp.o"
+  "CMakeFiles/tagnn_accel.dir/accelerator.cpp.o.d"
+  "CMakeFiles/tagnn_accel.dir/config.cpp.o"
+  "CMakeFiles/tagnn_accel.dir/config.cpp.o.d"
+  "CMakeFiles/tagnn_accel.dir/dispatcher.cpp.o"
+  "CMakeFiles/tagnn_accel.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/tagnn_accel.dir/msdl.cpp.o"
+  "CMakeFiles/tagnn_accel.dir/msdl.cpp.o.d"
+  "CMakeFiles/tagnn_accel.dir/partition.cpp.o"
+  "CMakeFiles/tagnn_accel.dir/partition.cpp.o.d"
+  "CMakeFiles/tagnn_accel.dir/report.cpp.o"
+  "CMakeFiles/tagnn_accel.dir/report.cpp.o.d"
+  "CMakeFiles/tagnn_accel.dir/resources.cpp.o"
+  "CMakeFiles/tagnn_accel.dir/resources.cpp.o.d"
+  "libtagnn_accel.a"
+  "libtagnn_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagnn_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagnn_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/tagnn_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/tagnn_tensor.dir/ops.cpp.o"
+  "CMakeFiles/tagnn_tensor.dir/ops.cpp.o.d"
+  "libtagnn_tensor.a"
+  "libtagnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

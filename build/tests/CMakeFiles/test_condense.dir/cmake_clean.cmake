@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_condense.dir/test_condense.cpp.o"
+  "CMakeFiles/test_condense.dir/test_condense.cpp.o.d"
+  "test_condense"
+  "test_condense.pdb"
+  "test_condense[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_condense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

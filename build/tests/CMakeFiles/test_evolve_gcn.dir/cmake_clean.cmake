@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evolve_gcn.dir/test_evolve_gcn.cpp.o"
+  "CMakeFiles/test_evolve_gcn.dir/test_evolve_gcn.cpp.o.d"
+  "test_evolve_gcn"
+  "test_evolve_gcn.pdb"
+  "test_evolve_gcn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evolve_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ocsr.dir/test_ocsr.cpp.o"
+  "CMakeFiles/test_ocsr.dir/test_ocsr.cpp.o.d"
+  "test_ocsr"
+  "test_ocsr.pdb"
+  "test_ocsr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ocsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pma.dir/test_pma.cpp.o"
+  "CMakeFiles/test_pma.dir/test_pma.cpp.o.d"
+  "test_pma"
+  "test_pma.pdb"
+  "test_pma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rnn.dir/test_rnn.cpp.o"
+  "CMakeFiles/test_rnn.dir/test_rnn.cpp.o.d"
+  "test_rnn"
+  "test_rnn.pdb"
+  "test_rnn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

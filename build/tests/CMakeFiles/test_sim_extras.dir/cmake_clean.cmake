@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_extras.dir/test_sim_extras.cpp.o"
+  "CMakeFiles/test_sim_extras.dir/test_sim_extras.cpp.o.d"
+  "test_sim_extras"
+  "test_sim_extras.pdb"
+  "test_sim_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

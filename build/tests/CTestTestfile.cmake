@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_csr[1]_include.cmake")
+include("/root/repo/build/tests/test_generator[1]_include.cmake")
+include("/root/repo/build/tests/test_classify[1]_include.cmake")
+include("/root/repo/build/tests/test_pma[1]_include.cmake")
+include("/root/repo/build/tests/test_ocsr[1]_include.cmake")
+include("/root/repo/build/tests/test_rnn[1]_include.cmake")
+include("/root/repo/build/tests/test_similarity[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_accelerator[1]_include.cmake")
+include("/root/repo/build/tests/test_approx[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_io[1]_include.cmake")
+include("/root/repo/build/tests/test_incremental[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_streaming[1]_include.cmake")
+include("/root/repo/build/tests/test_quantize[1]_include.cmake")
+include("/root/repo/build/tests/test_evolve_gcn[1]_include.cmake")
+include("/root/repo/build/tests/test_report[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_condense[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_extras[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagnn_sim_tool.dir/tagnn_sim.cpp.o"
+  "CMakeFiles/tagnn_sim_tool.dir/tagnn_sim.cpp.o.d"
+  "tagnn_sim"
+  "tagnn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagnn_sim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagnn_trace_tool.dir/tagnn_trace.cpp.o"
+  "CMakeFiles/tagnn_trace_tool.dir/tagnn_trace.cpp.o.d"
+  "tagnn_trace"
+  "tagnn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagnn_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
