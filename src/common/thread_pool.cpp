@@ -1,8 +1,14 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace tagnn {
+namespace {
+
+std::atomic<ThreadPool*> g_pool_override{nullptr};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -104,8 +110,15 @@ void ThreadPool::parallel_for(
 }
 
 ThreadPool& ThreadPool::global() {
+  if (ThreadPool* o = g_pool_override.load(std::memory_order_acquire)) {
+    return *o;
+  }
   static ThreadPool pool;
   return pool;
+}
+
+ThreadPool* ThreadPool::set_global_override(ThreadPool* pool) {
+  return g_pool_override.exchange(pool, std::memory_order_acq_rel);
 }
 
 void parallel_for(std::size_t begin, std::size_t end,

@@ -29,8 +29,16 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t, std::size_t)>& fn);
 
-  /// Process-wide pool (lazily created, sized to the machine).
+  /// Process-wide pool (lazily created, sized to the machine), unless an
+  /// override is installed.
   static ThreadPool& global();
+
+  /// Installs `pool` as the pool returned by global() (nullptr restores
+  /// the default). Returns the previous override. Intended for tests
+  /// that pin the worker count; installation is not synchronised against
+  /// threads already inside parallel_for, so swap only while no
+  /// parallel work is in flight.
+  static ThreadPool* set_global_override(ThreadPool* pool);
 
  private:
   struct Task {
@@ -57,5 +65,24 @@ class ThreadPool {
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t, std::size_t)>& fn,
                   std::size_t serial_threshold = 2048);
+
+/// RAII pool of `threads` workers installed as the global pool for the
+/// enclosing scope. Lets tests run the engines at a fixed parallelism
+/// (e.g. 1/2/8 threads) regardless of the machine.
+class ScopedGlobalThreadPool {
+ public:
+  explicit ScopedGlobalThreadPool(std::size_t threads)
+      : pool_(threads), prev_(ThreadPool::set_global_override(&pool_)) {}
+  ~ScopedGlobalThreadPool() { ThreadPool::set_global_override(prev_); }
+
+  ScopedGlobalThreadPool(const ScopedGlobalThreadPool&) = delete;
+  ScopedGlobalThreadPool& operator=(const ScopedGlobalThreadPool&) = delete;
+
+  ThreadPool& pool() { return pool_; }
+
+ private:
+  ThreadPool pool_;
+  ThreadPool* prev_;
+};
 
 }  // namespace tagnn

@@ -24,6 +24,7 @@ CsrGraph CsrGraph::from_edges(
   g.neighbors_.resize(edges.size());
   std::vector<EdgeId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
   for (const auto& [u, v] : edges) g.neighbors_[cursor[u]++] = v;
+  TAGNN_CHECK_INVARIANTS(g);
   return g;
 }
 
@@ -39,7 +40,34 @@ CsrGraph CsrGraph::from_csr(std::vector<EdgeId> offsets,
   CsrGraph g;
   g.offsets_ = std::move(offsets);
   g.neighbors_ = std::move(neighbors);
+  TAGNN_CHECK_INVARIANTS(g);
   return g;
+}
+
+void CsrGraph::validate() const {
+  if (offsets_.empty()) {
+    TAGNN_CHECK_MSG(neighbors_.empty(),
+                    "empty graph must not own neighbour storage");
+    return;
+  }
+  const VertexId n = num_vertices();
+  TAGNN_CHECK(offsets_.front() == 0);
+  TAGNN_CHECK_MSG(offsets_.back() == neighbors_.size(),
+                  "offsets end " << offsets_.back() << " != edge count "
+                                 << neighbors_.size());
+  for (VertexId v = 0; v < n; ++v) {
+    TAGNN_CHECK_MSG(offsets_[v] <= offsets_[v + 1],
+                    "offsets not monotone at vertex " << v);
+    for (EdgeId e = offsets_[v]; e < offsets_[v + 1]; ++e) {
+      TAGNN_CHECK_MSG(neighbors_[e] < n,
+                      "neighbour " << neighbors_[e] << " of vertex " << v
+                                   << " out of range " << n);
+      if (e > offsets_[v]) {
+        TAGNN_CHECK_MSG(neighbors_[e - 1] <= neighbors_[e],
+                        "neighbour run of vertex " << v << " not sorted");
+      }
+    }
+  }
 }
 
 bool CsrGraph::has_edge(VertexId u, VertexId v) const {

@@ -55,7 +55,13 @@ class CsrGraph {
            neighbors_.size() * sizeof(VertexId);
   }
 
+  /// Audits structural invariants: offsets shape and monotonicity, every
+  /// neighbour id in range, every row sorted ascending. Throws
+  /// std::logic_error on violation.
+  void validate() const;
+
  private:
+  friend struct TestPeer;
   std::vector<EdgeId> offsets_;      // n + 1 entries
   std::vector<VertexId> neighbors_;  // sorted within each row
 };

@@ -37,7 +37,92 @@ SnapshotDelta diff_snapshots(const Snapshot& prev, const Snapshot& next) {
       d.feature_changed.push_back(v);
     }
   }
+  if (invariant_check_level() >= 1) d.validate(prev, next);
   return d;
+}
+
+namespace {
+
+void check_sorted_unique(const std::vector<VertexId>& xs, const char* what) {
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    TAGNN_CHECK_MSG(xs[i - 1] < xs[i], what << " not sorted/unique at "
+                                            << i);
+  }
+}
+
+void check_sorted_unique(
+    const std::vector<std::pair<VertexId, VertexId>>& es, const char* what) {
+  for (std::size_t i = 1; i < es.size(); ++i) {
+    TAGNN_CHECK_MSG(es[i - 1] < es[i], what << " not sorted/unique at "
+                                            << i);
+  }
+}
+
+}  // namespace
+
+void SnapshotDelta::validate() const {
+  check_sorted_unique(added_edges, "added_edges");
+  check_sorted_unique(removed_edges, "removed_edges");
+  check_sorted_unique(feature_changed, "feature_changed");
+  check_sorted_unique(appeared, "appeared");
+  check_sorted_unique(disappeared, "disappeared");
+  // Both lists are sorted, so a linear merge finds any overlap.
+  std::size_t i = 0, j = 0;
+  while (i < added_edges.size() && j < removed_edges.size()) {
+    if (added_edges[i] < removed_edges[j]) {
+      ++i;
+    } else if (removed_edges[j] < added_edges[i]) {
+      ++j;
+    } else {
+      TAGNN_CHECK_MSG(false, "edge (" << added_edges[i].first << ','
+                                      << added_edges[i].second
+                                      << ") both added and removed");
+    }
+  }
+  i = j = 0;
+  while (i < appeared.size() && j < disappeared.size()) {
+    if (appeared[i] < disappeared[j]) {
+      ++i;
+    } else if (disappeared[j] < appeared[i]) {
+      ++j;
+    } else {
+      TAGNN_CHECK_MSG(false, "vertex " << appeared[i]
+                                       << " both appeared and disappeared");
+    }
+  }
+}
+
+void SnapshotDelta::validate(const Snapshot& prev,
+                             const Snapshot& next) const {
+  validate();
+  const VertexId n = prev.num_vertices();
+  for (const auto& [u, v] : added_edges) {
+    TAGNN_CHECK(u < n && v < n);
+    TAGNN_CHECK_MSG(!prev.graph.has_edge(u, v) && next.graph.has_edge(u, v),
+                    "added edge (" << u << ',' << v
+                                   << ") inconsistent with snapshots");
+  }
+  for (const auto& [u, v] : removed_edges) {
+    TAGNN_CHECK(u < n && v < n);
+    TAGNN_CHECK_MSG(prev.graph.has_edge(u, v) && !next.graph.has_edge(u, v),
+                    "removed edge (" << u << ',' << v
+                                     << ") inconsistent with snapshots");
+  }
+  for (VertexId v : feature_changed) {
+    TAGNN_CHECK(v < n);
+    const auto fa = prev.features.row(v);
+    const auto fb = next.features.row(v);
+    TAGNN_CHECK_MSG(!std::equal(fa.begin(), fa.end(), fb.begin()),
+                    "feature_changed vertex " << v << " has identical rows");
+  }
+  for (VertexId v : appeared) {
+    TAGNN_CHECK_MSG(v < n && !prev.present[v] && next.present[v],
+                    "appeared vertex " << v << " inconsistent");
+  }
+  for (VertexId v : disappeared) {
+    TAGNN_CHECK_MSG(v < n && prev.present[v] && !next.present[v],
+                    "disappeared vertex " << v << " inconsistent");
+  }
 }
 
 }  // namespace tagnn

@@ -20,6 +20,17 @@ struct SnapshotDelta {
   std::size_t total_edge_changes() const {
     return added_edges.size() + removed_edges.size();
   }
+
+  /// Audits self-consistency: every list sorted and duplicate-free, no
+  /// edge both added and removed, no vertex both appeared and
+  /// disappeared. Throws std::logic_error on violation. Runs on the
+  /// result of diff_snapshots at invariant level >= 1.
+  void validate() const;
+
+  /// Additionally audits the delta against the snapshots it claims to
+  /// connect: added edges present only in `next`, removed edges only in
+  /// `prev`, feature_changed rows actually differ, presence flips match.
+  void validate(const Snapshot& prev, const Snapshot& next) const;
 };
 
 /// Computes the delta taking `prev` to `next`.

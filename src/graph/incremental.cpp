@@ -171,7 +171,54 @@ const WindowClassification& IncrementalClassifier::advance(SnapshotId start) {
   } else {
     rebuild(start);
   }
+  TAGNN_CHECK_INVARIANTS(*this);
   return cls_;
+}
+
+void IncrementalClassifier::validate() const {
+  const VertexId n = g_.num_vertices();
+  TAGNN_CHECK(feat_cnt_.size() == n);
+  TAGNN_CHECK(topo_cnt_.size() == n);
+  TAGNN_CHECK(absent_cnt_.size() == n);
+  TAGNN_CHECK(cls_.clazz.size() == n);
+  TAGNN_CHECK(cls_.feature_stable.size() == n);
+  TAGNN_CHECK(cls_.topo_stable.size() == n);
+  for (VertexId v = 0; v < n; ++v) {
+    // A window of K snapshots has K-1 transitions and K presence checks.
+    TAGNN_CHECK_MSG(feat_cnt_[v] < k_, "feat counter of " << v
+                                                          << " out of band");
+    TAGNN_CHECK_MSG(topo_cnt_[v] < k_, "topo counter of " << v
+                                                          << " out of band");
+    TAGNN_CHECK_MSG(absent_cnt_[v] <= k_,
+                    "absent counter of " << v << " out of band");
+  }
+  if (!positioned_) return;
+  TAGNN_CHECK(cls_.window.start == start_ && cls_.window.length == k_);
+  for (VertexId v = 0; v < n; ++v) {
+    const bool feature_stable = feat_cnt_[v] == 0 && absent_cnt_[v] == 0;
+    const bool topo_stable = topo_cnt_[v] == 0;
+    TAGNN_CHECK_MSG(cls_.feature_stable[v] == feature_stable,
+                    "feature_stable of " << v << " stale");
+    TAGNN_CHECK_MSG(cls_.topo_stable[v] == topo_stable,
+                    "topo_stable of " << v << " stale");
+    if (!feature_stable) {
+      TAGNN_CHECK_MSG(cls_.clazz[v] == VertexClass::kAffected,
+                      "vertex " << v << " should be affected");
+      continue;
+    }
+    bool unaffected = topo_stable;
+    if (unaffected) {
+      for (VertexId u : g_.snapshot(start_).graph.neighbors(v)) {
+        if (feat_cnt_[u] != 0 || absent_cnt_[u] != 0) {
+          unaffected = false;
+          break;
+        }
+      }
+    }
+    TAGNN_CHECK_MSG(cls_.clazz[v] == (unaffected ? VertexClass::kUnaffected
+                                                 : VertexClass::kStable),
+                    "class of vertex " << v << " stale");
+  }
 }
 
 }  // namespace tagnn

@@ -37,7 +37,16 @@ class IncrementalClassifier {
   /// benchmarks; equals n after a rebuild).
   std::size_t last_reclassified() const { return last_reclassified_; }
 
+  /// Audits internal invariants: counter-array shapes, sliding counters
+  /// within window bounds, and full consistency of the published
+  /// classification with the counters (including the O(E) re-derivation
+  /// of the unaffected set from window-start neighbourhoods). Throws
+  /// std::logic_error on violation. Runs after every advance() at
+  /// invariant level >= 1.
+  void validate() const;
+
  private:
+  friend struct TestPeer;
   struct Transition {
     std::vector<VertexId> feat_changed;  // X row differs t -> t+1
     std::vector<VertexId> topo_changed;  // neighbour list differs

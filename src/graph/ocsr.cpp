@@ -78,7 +78,54 @@ OCsr OCsr::build(const DynamicGraph& g, Window window,
       }
     }
   }
+  TAGNN_CHECK_INVARIANTS(o);
   return o;
+}
+
+void OCsr::validate() const {
+  const auto k = static_cast<std::size_t>(window_.length);
+  TAGNN_CHECK(row_start_.size() == sindex_.size() + 1);
+  TAGNN_CHECK(enum_counts_.size() == sindex_.size());
+  TAGNN_CHECK(row_start_.empty() || row_start_.front() == 0);
+  TAGNN_CHECK(tindex_.size() == timestamps_.size());
+  TAGNN_CHECK_MSG(row_start_.empty() || row_start_.back() == tindex_.size(),
+                  "row_start end does not cover the edge arrays");
+  for (std::size_t row = 0; row < sindex_.size(); ++row) {
+    TAGNN_CHECK_MSG(row_start_[row] <= row_start_[row + 1],
+                    "row_start not monotone at row " << row);
+    TAGNN_CHECK_MSG(row_start_[row + 1] - row_start_[row] ==
+                        enum_counts_[row],
+                    "enum count of row " << row << " disagrees with "
+                                         << "row_start");
+    // Edges are appended snapshot by snapshot, so timestamps within a
+    // row are non-decreasing and always inside the window.
+    for (EdgeId e = row_start_[row]; e < row_start_[row + 1]; ++e) {
+      TAGNN_CHECK_MSG(window_.contains(timestamps_[e]),
+                      "edge timestamp " << timestamps_[e]
+                                        << " outside window");
+      if (e > row_start_[row]) {
+        TAGNN_CHECK_MSG(timestamps_[e - 1] <= timestamps_[e],
+                        "timestamps of row " << row << " not snapshot-major");
+      }
+    }
+  }
+  // Feature-slot table: sized n * (k + 1), and its live entries must hit
+  // every feature row exactly once (no dangling or shared rows beyond
+  // the deliberate per-vertex sharing of slot K).
+  TAGNN_CHECK_MSG(k == 0 || slot_of_.size() % (k + 1) == 0,
+                  "slot table size not a multiple of window span");
+  std::vector<bool> used(features_.rows(), false);
+  for (std::size_t i = 0; i < slot_of_.size(); ++i) {
+    const std::uint32_t s = slot_of_[i];
+    if (s == kNoSlot) continue;
+    TAGNN_CHECK_MSG(s < features_.rows(),
+                    "slot " << s << " beyond feature table");
+    TAGNN_CHECK_MSG(!used[s], "feature row " << s << " mapped twice");
+    used[s] = true;
+  }
+  for (std::size_t r = 0; r < used.size(); ++r) {
+    TAGNN_CHECK_MSG(used[r], "feature row " << r << " unreferenced");
+  }
 }
 
 std::uint32_t OCsr::feature_slot(VertexId v, SnapshotId t) const {

@@ -68,7 +68,16 @@ class OCsr {
   std::size_t feature_bytes() const;
   std::size_t bytes() const { return structure_bytes() + feature_bytes(); }
 
+  /// Audits structural invariants: row_start prefix-sum shape, tindex /
+  /// timestamp parallelism, enum_counts agreement, every timestamp inside
+  /// the window, snapshot-major timestamp order within each row, and a
+  /// bijection between live slot_of_ entries and feature rows. Throws
+  /// std::logic_error on violation. Runs automatically after build() at
+  /// invariant level >= 1 (see common/check.hpp).
+  void validate() const;
+
  private:
+  friend struct TestPeer;
   std::uint32_t feature_slot(VertexId v, SnapshotId t) const;
 
   Window window_;

@@ -149,6 +149,7 @@ void Pma::redistribute(std::size_t first_seg, std::size_t num_segs) {
     }
     seg_count_[s] = static_cast<std::uint32_t>(take);
   }
+  TAGNN_CHECK_INVARIANTS(*this);
 }
 
 void Pma::resize_segments(std::size_t new_num_segments) {
@@ -183,6 +184,7 @@ void Pma::resize_segments(std::size_t new_num_segments) {
     }
     seg_count_[s] = static_cast<std::uint32_t>(take);
   }
+  TAGNN_CHECK_INVARIANTS(*this);
 }
 
 void Pma::rebalance_after_insert(std::size_t seg) {
@@ -243,6 +245,7 @@ bool Pma::insert_or_merge(std::uint64_t key, std::uint32_t value) {
     TAGNN_CHECK(seg_count_[seg] < segment_size_);
   }
   insert_into_segment(seg, pos, key, value);
+  TAGNN_CHECK_INVARIANTS_AT(2, *this);
   return true;
 }
 
@@ -252,6 +255,7 @@ bool Pma::erase(std::uint64_t key) {
   if (!found) return false;
   erase_from_segment(seg, pos);
   rebalance_after_erase(seg);
+  TAGNN_CHECK_INVARIANTS_AT(2, *this);
   return true;
 }
 
@@ -281,24 +285,39 @@ void Pma::scan(
   }
 }
 
-void Pma::check_invariants() const {
+void Pma::validate() const {
+  TAGNN_CHECK(segment_size_ >= 4);
   TAGNN_CHECK(keys_.size() == values_.size());
   TAGNN_CHECK(keys_.size() == num_segments() * segment_size_);
+  const std::size_t segs = num_segments();
+  TAGNN_CHECK_MSG(segs > 0 && (segs & (segs - 1)) == 0,
+                  "segment count " << segs << " not a power of two");
   std::size_t total = 0;
+  std::size_t gaps = 0;
   std::uint64_t prev = 0;
   bool have_prev = false;
-  for (std::size_t s = 0; s < num_segments(); ++s) {
+  for (std::size_t s = 0; s < segs; ++s) {
     const std::size_t base = s * segment_size_;
-    TAGNN_CHECK(seg_count_[s] <= segment_size_);
+    TAGNN_CHECK_MSG(seg_count_[s] <= segment_size_,
+                    "segment " << s << " overfull: " << seg_count_[s]);
     total += seg_count_[s];
+    gaps += segment_size_ - seg_count_[s];
     for (std::uint32_t i = 0; i < seg_count_[s]; ++i) {
       const std::uint64_t k = keys_[base + i];
-      if (have_prev) TAGNN_CHECK_MSG(prev < k, "keys not strictly sorted");
+      if (have_prev) {
+        TAGNN_CHECK_MSG(prev < k, "keys not strictly sorted in segment "
+                                      << s << " slot " << i);
+      }
       prev = k;
       have_prev = true;
     }
   }
-  TAGNN_CHECK(total == count_);
+  TAGNN_CHECK_MSG(total == count_,
+                  "packed prefix total " << total << " != count " << count_);
+  TAGNN_CHECK(total + gaps == keys_.size());
+  // Density bound: every element lives in some segment's packed prefix,
+  // so the structure can never claim more elements than slots.
+  TAGNN_CHECK(density() <= 1.0);
 }
 
 }  // namespace tagnn

@@ -51,11 +51,19 @@ class Pma {
     return keys_.size() * (sizeof(std::uint64_t) + sizeof(std::uint32_t));
   }
 
-  /// Validates all internal invariants (sortedness, packing, counts);
-  /// throws on violation. Used by property tests.
-  void check_invariants() const;
+  /// Audits all internal invariants: array-shape coherence (capacity is
+  /// a power-of-two number of segments), per-segment packing and gap
+  /// accounting, strict global key order across packed prefixes, and the
+  /// element count. Throws std::logic_error on violation. Runs
+  /// automatically after rebalances at invariant level >= 1 and after
+  /// every insert/erase at level >= 2 (see common/check.hpp).
+  void validate() const;
+
+  /// Back-compat alias for validate(), kept for the property tests.
+  void check_invariants() const { validate(); }
 
  private:
+  friend struct TestPeer;
   std::size_t num_segments() const { return seg_count_.size(); }
   std::size_t find_segment(std::uint64_t key) const;
   // Position of key within segment (index into packed prefix) or the

@@ -206,7 +206,9 @@ TEST(Properties, ReusePlusComputeCoversExactlyAllVertexSnapshots) {
                   r.gnn_counts.gnn_vertex_computed,
               total_vertex_snapshots)
         << "window " << k;
-    if (k > 1) EXPECT_GT(r.gnn_counts.gnn_vertex_reused, 0u);
+    if (k > 1) {
+      EXPECT_GT(r.gnn_counts.gnn_vertex_reused, 0u);
+    }
   }
 }
 

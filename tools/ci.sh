@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full correctness pipeline: builds and tests the default, asan-ubsan,
+# and tsan presets (all with -Werror), then runs clang-tidy via
+# tools/lint.sh. Any warning, test failure, sanitizer report, or lint
+# finding fails the script.
+#
+# Usage: tools/ci.sh [--fast]
+#   --fast   default preset only (skip the sanitizer builds and lint)
+#
+# Roughly 3x the build time of a plain build; use --fast for quick local
+# iteration and the full run before merging.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+fast=0
+[ "${1:-}" = "--fast" ] && fast=1
+
+presets=(default)
+if [ "$fast" -eq 0 ]; then
+  presets+=(asan-ubsan tsan)
+fi
+
+jobs="${TAGNN_CI_JOBS:-$(nproc)}"
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure ==="
+  cmake --preset "$preset"
+  echo "=== [$preset] build ==="
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] test ==="
+  ctest --preset "$preset" -j "$jobs"
+done
+
+if [ "$fast" -eq 0 ]; then
+  echo "=== lint ==="
+  "$repo_root/tools/lint.sh" "$repo_root/build"
+fi
+
+echo "ci.sh: all presets green"

@@ -10,11 +10,17 @@
 //             [--snapshots N] [--window K] [--dcus N] [--macs-per-dcu N]
 //             [--format ocsr|csr|pma] [--no-oadl] [--no-adsc]
 //             [--theta-s X] [--theta-e X] [--engine accel|reference|
-//             concurrent] [--csv] [--seed N]
+//             concurrent] [--csv] [--seed N] [--self-check]
+//
+// --self-check raises the invariant-audit level to its maximum: every
+// loaded snapshot is validated up front and all dynamic structures
+// (PMA, O-CSR, deltas, incremental classifier) audit themselves after
+// every mutation for the whole run.
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/check.hpp"
 #include "graph/datasets.hpp"
 #include "graph/trace_io.hpp"
 #include "nn/engine.hpp"
@@ -36,6 +42,7 @@ struct Options {
   std::uint64_t seed = 42;
   bool csv = false;
   bool json = false;
+  bool self_check = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -46,7 +53,8 @@ struct Options {
          "       [--window K] [--dcus N] [--macs-per-dcu N]\n"
          "       [--format ocsr|csr|pma] [--no-oadl] [--no-adsc]\n"
          "       [--theta-s X] [--theta-e X]\n"
-         "       [--engine accel|reference|concurrent] [--csv] [--seed N]\n";
+         "       [--engine accel|reference|concurrent] [--csv] [--seed N]\n"
+         "       [--self-check]\n";
   std::exit(2);
 }
 
@@ -92,6 +100,8 @@ Options parse(int argc, char** argv) {
       o.cfg.thresholds.theta_e = static_cast<float>(std::atof(need(i)));
     } else if (a == "--seed") {
       o.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+    } else if (a == "--self-check") {
+      o.self_check = true;
     } else if (a == "--csv") {
       o.csv = true;
     } else if (a == "--json") {
@@ -107,9 +117,17 @@ Options parse(int argc, char** argv) {
 }
 
 int run(Options o) {
+  if (o.self_check) set_invariant_check_level(2);
   const DynamicGraph g =
       o.trace.empty() ? datasets::load(o.dataset, o.scale, o.snapshots)
                       : read_trace_file(o.trace);
+  if (o.self_check) {
+    for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
+      g.snapshot(t).validate();
+    }
+    std::cerr << "self-check: input snapshots valid; structural audits "
+                 "enabled at level 2\n";
+  }
   const DgnnWeights w =
       DgnnWeights::init(ModelConfig::preset(o.model), g.feature_dim(),
                         o.seed);
