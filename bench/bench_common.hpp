@@ -3,10 +3,13 @@
 // Every binary regenerates one table/figure of the paper's evaluation
 // and prints the same rows/series. Dataset scale and snapshot count can
 // be overridden via TAGNN_SCALE / TAGNN_SNAPSHOTS (see README).
+// A metrics snapshot of the run can be written to the path in
+// TAGNN_BENCH_METRICS_OUT (schema tagnn.bench.v1, JSON).
 #pragma once
 
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -15,6 +18,9 @@
 #include "graph/datasets.hpp"
 #include "nn/engine.hpp"
 #include "nn/weights.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "tagnn/report.hpp"
 
 namespace tagnn::bench {
 
@@ -53,12 +59,42 @@ inline Workload load(const std::string& model, const std::string& dataset) {
   return wl;
 }
 
+/// Writes a metrics snapshot for the bench run to
+/// $TAGNN_BENCH_METRICS_OUT (no-op when the variable is unset). Stable
+/// envelope: {"schema": "tagnn.bench.v1", "bench": ..., "scale": ...,
+/// "snapshots": ..., "metrics": {...}}.
+inline void emit_bench_metrics(const std::string& bench_title) {
+  const char* path = std::getenv("TAGNN_BENCH_METRICS_OUT");
+  if (path == nullptr || *path == '\0') return;
+  std::ofstream f(path);
+  if (!f) {
+    std::cerr << "warning: cannot open TAGNN_BENCH_METRICS_OUT path "
+              << path << "\n";
+    return;
+  }
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  f << "{\n  \"schema\": \"tagnn.bench.v1\",\n  \"bench\": \""
+    << json_escape(bench_title) << "\",\n  \"scale\": " << scale()
+    << ",\n  \"snapshots\": " << snapshots() << ",\n  \"metrics\": ";
+  snap.write_metrics_object(f, 2);
+  f << "\n}\n";
+}
+
+/// Registers an atexit hook that snapshots the global registry when the
+/// bench terminates; call once from main() after the header.
+inline void emit_bench_metrics_at_exit(const std::string& bench_title) {
+  static std::string title;  // atexit handlers take no arguments
+  title = bench_title;
+  std::atexit([] { emit_bench_metrics(title); });
+}
+
 inline void print_header(const std::string& title,
                          const std::string& paper_ref) {
   std::cout << "\n==== " << title << " ====\n"
             << "reproduces: " << paper_ref << "\n"
             << "dataset scale: " << scale() << "x of the scaled presets, "
             << snapshots() << " snapshots (see DESIGN.md)\n\n";
+  emit_bench_metrics_at_exit(title);
 }
 
 /// Geometric mean, for "average speedup" rows like the paper reports.

@@ -3,10 +3,37 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+
 namespace tagnn {
 namespace {
 
 std::atomic<ThreadPool*> g_pool_override{nullptr};
+
+// Pool observability (docs/OBSERVABILITY.md): chunk-granular, so the
+// per-iteration hot loop inside fn is never touched. MetricIds are
+// resolved once; each event costs one relaxed-load gate plus a couple
+// of relaxed atomic ops in a thread-local shard.
+struct PoolMetrics {
+  obs::MetricId queue_depth;
+  obs::MetricId queue_depth_high_water;
+  obs::MetricId tasks_executed;
+  obs::MetricId busy_seconds;
+
+  static const PoolMetrics& get() {
+    static const PoolMetrics m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return PoolMetrics{
+          reg.gauge("tagnn.pool.queue_depth"),
+          reg.gauge("tagnn.pool.queue_depth_high_water"),
+          reg.counter("tagnn.pool.tasks_executed"),
+          reg.histogram("tagnn.pool.worker_busy_seconds"),
+      };
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -50,11 +77,19 @@ bool ThreadPool::run_one_chunk(Task& task, std::unique_lock<std::mutex>& lock) {
   const auto* fn = task.fn;
   lock.unlock();
 
+  const bool telemetry = obs::telemetry_enabled();
+  Stopwatch busy;
   std::exception_ptr error;
   try {
     (*fn)(b, e);
   } catch (...) {
     error = std::current_exception();
+  }
+  if (telemetry) {
+    auto& reg = obs::MetricsRegistry::global();
+    const PoolMetrics& m = PoolMetrics::get();
+    reg.add(m.tasks_executed);
+    reg.record(m.busy_seconds, busy.seconds());
   }
 
   lock.lock();
@@ -98,12 +133,23 @@ void ThreadPool::parallel_for(
   task.next = begin;
   task.pending = (n + task.chunk - 1) / task.chunk;
 
+  if (obs::telemetry_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    const PoolMetrics& m = PoolMetrics::get();
+    reg.set(m.queue_depth, static_cast<double>(task.pending));
+    reg.set_max(m.queue_depth_high_water,
+                static_cast<double>(task.pending));
+  }
+
   std::unique_lock<std::mutex> lock(mu_);
   task_ = &task;
   cv_work_.notify_all();
   while (run_one_chunk(task, lock)) {
   }
   cv_done_.wait(lock, [&] { return task.pending == 0; });
+  if (obs::telemetry_enabled()) {
+    obs::MetricsRegistry::global().set(PoolMetrics::get().queue_depth, 0.0);
+  }
   if (task_ == &task) task_ = nullptr;
   lock.unlock();
   if (task.error) std::rethrow_exception(task.error);

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/timer.hpp"
 #include "nn/engine_detail.hpp"
 #include "nn/gcn.hpp"
 #include "tensor/ops.hpp"
@@ -29,7 +29,7 @@ EngineResult run_skeleton(const DynamicGraph& g, const DgnnWeights& weights,
   Matrix prev_z;
   for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
     const Snapshot& snap = g.snapshot(t);
-    Stopwatch sw;
+    obs::ScopedTimer t_gnn(&res.seconds.gnn);
     const Matrix* in = &snap.features;
     for (std::size_t l = 0; l < layers; ++l) {
       Matrix& out = (l % 2 == 0) ? a : b;
@@ -40,9 +40,9 @@ EngineResult run_skeleton(const DynamicGraph& g, const DgnnWeights& weights,
       in = &out;
     }
     const Matrix& z = *in;
-    res.seconds.gnn += sw.seconds();
+    t_gnn.stop();
 
-    sw.reset();
+    obs::ScopedTimer t_rnn(&res.seconds.rnn);
     detail::parallel_vertices(
         n,
         [&](VertexId v, OpCounts& counts) {
@@ -50,7 +50,7 @@ EngineResult run_skeleton(const DynamicGraph& g, const DgnnWeights& weights,
           update(t, v, z, prev_z, st, counts);
         },
         res.rnn_counts);
-    res.seconds.rnn += sw.seconds();
+    t_rnn.stop();
 
     prev_z = z;
     res.outputs.push_back(st.h);

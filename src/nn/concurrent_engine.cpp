@@ -9,13 +9,13 @@
 //      vertices only at the window's first snapshot and copying their
 //      rows elsewhere (gnn phase);
 //   4. run the RNN with similarity-aware cell skipping (rnn phase).
-#include "common/stopwatch.hpp"
 #include "graph/affected_subgraph.hpp"
 #include "graph/ocsr.hpp"
 #include "nn/engine.hpp"
 #include "nn/engine_detail.hpp"
 #include "nn/gcn.hpp"
 #include "nn/similarity.hpp"
+#include "obs/timer.hpp"
 #include "tensor/ops.hpp"
 
 namespace tagnn {
@@ -98,7 +98,8 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
     const std::size_t k = w.length;
 
     // ---- Overhead phase: classification + subgraph + O-CSR. ----
-    Stopwatch sw;
+    obs::ScopedTimer t_overhead(&res.seconds.overhead, "concurrent.overhead",
+                                "engine", "tagnn.engine.overhead_seconds");
     const WindowClassification cls = classify_window(g, w);
     std::vector<std::vector<bool>> unchanged;
     if (opts_.gnn_reuse) {
@@ -106,10 +107,11 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
     }
     const AffectedSubgraph sub = extract_affected_subgraph(g, w, cls);
     const OCsr ocsr = OCsr::build(g, w, cls, sub);
-    res.seconds.overhead += sw.seconds();
+    t_overhead.stop();
 
     // ---- Load phase: stored rows once, weights once per window. ----
-    sw.reset();
+    obs::ScopedTimer t_load(&res.seconds.load, "concurrent.load", "engine",
+                            "tagnn.engine.load_seconds");
     res.load_counts.structure_bytes += ocsr.structure_bytes();
     res.load_counts.feature_bytes += ocsr.feature_bytes();
     // Unaffected vertices outside the O-CSR still stream in once.
@@ -123,10 +125,11 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
         static_cast<double>(weights.gnn_param_count() +
                             weights.rnn_param_count()) *
         4.0;
-    res.seconds.load += sw.seconds();
+    t_load.stop();
 
     // ---- GNN phase over all K snapshots, layer by layer. ----
-    sw.reset();
+    obs::ScopedTimer t_gnn(&res.seconds.gnn, "concurrent.gnn", "engine",
+                           "tagnn.engine.gnn_seconds");
     std::vector<bool> all_resident(n, true);
     std::vector<Matrix> cur(k), nxt(k);
     for (std::size_t l = 0; l < layers; ++l) {
@@ -179,10 +182,11 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
       }
       std::swap(cur, nxt);
     }
-    res.seconds.gnn += sw.seconds();
+    t_gnn.stop();
 
     // ---- RNN phase with similarity-aware cell skipping. ----
-    sw.reset();
+    obs::ScopedTimer t_rnn(&res.seconds.rnn, "concurrent.rnn", "engine",
+                           "tagnn.engine.rnn_seconds");
     for (std::size_t tk = 0; tk < k; ++tk) {
       const SnapshotId t = w.start + static_cast<SnapshotId>(tk);
       const Snapshot& snap = g.snapshot(t);
@@ -252,7 +256,7 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
       if (opts_.store_outputs) res.outputs.push_back(st.h);
       ++res.snapshots_processed;
     }
-    res.seconds.rnn += sw.seconds();
+    t_rnn.stop();
   }
   res.final_hidden = st.h;
   if (carry != nullptr) {

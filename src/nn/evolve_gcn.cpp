@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/timer.hpp"
 #include "graph/classify.hpp"
 #include "nn/gcn.hpp"
 #include "tensor/ops.hpp"
@@ -102,7 +102,7 @@ EngineResult run_evolve_gcn(const DynamicGraph& g,
   std::vector<bool> resident;
   for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
     const Snapshot& snap = g.snapshot(t);
-    Stopwatch sw;
+    obs::ScopedTimer t_rnn(&res.seconds.rnn);  // weight evolution ~ temporal
     if (t > 0) {
       // Weights evolve every snapshot — this is the model's "temporal"
       // component; vertex-level outputs therefore change even for
@@ -111,9 +111,9 @@ EngineResult run_evolve_gcn(const DynamicGraph& g,
         w_cur[l] = evolve_weights(w_cur[l], weights.gru[l], res.rnn_counts);
       }
     }
-    res.seconds.rnn += sw.seconds();  // weight evolution ~ temporal phase
+    t_rnn.stop();
 
-    sw.reset();
+    obs::ScopedTimer t_gnn(&res.seconds.gnn);
     if (reuse_features && t > 0) {
       // Feature-load dedup (the surviving OADL piece): rows identical
       // to the previous snapshot need no re-fetch.
@@ -130,7 +130,7 @@ EngineResult run_evolve_gcn(const DynamicGraph& g,
       gcn_layer_forward(snap, *in, w_cur[l], opts, out, res.gnn_counts);
       in = &out;
     }
-    res.seconds.gnn += sw.seconds();
+    t_gnn.stop();
     res.outputs.push_back(*in);
     ++res.snapshots_processed;
   }

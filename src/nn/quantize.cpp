@@ -3,7 +3,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
-#include "common/stopwatch.hpp"
+#include "obs/timer.hpp"
 #include "nn/engine_detail.hpp"
 #include "nn/gcn.hpp"
 #include "nn/rnn.hpp"
@@ -55,7 +55,7 @@ EngineResult run_quantized(const DynamicGraph& g, const DgnnWeights& weights,
   Matrix a, b, x_q;
   for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
     const Snapshot& snap = g.snapshot(t);
-    Stopwatch sw;
+    obs::ScopedTimer t_gnn(&res.seconds.gnn);
     // Input features quantized at buffer precision.
     x_q = snap.features;
     quantize_matrix(x_q, cfg.activation_bits);
@@ -70,9 +70,9 @@ EngineResult run_quantized(const DynamicGraph& g, const DgnnWeights& weights,
       in = &out;
     }
     const Matrix& z = *in;
-    res.seconds.gnn += sw.seconds();
+    t_gnn.stop();
 
-    sw.reset();
+    obs::ScopedTimer t_rnn(&res.seconds.rnn);
     detail::parallel_vertices(
         n,
         [&](VertexId v, OpCounts& counts) {
@@ -84,7 +84,7 @@ EngineResult run_quantized(const DynamicGraph& g, const DgnnWeights& weights,
     // Hidden state lives in the intermediate buffer at activation
     // precision.
     quantize_matrix(st.h, cfg.activation_bits);
-    res.seconds.rnn += sw.seconds();
+    t_rnn.stop();
 
     res.outputs.push_back(st.h);
     ++res.snapshots_processed;

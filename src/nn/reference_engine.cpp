@@ -1,9 +1,9 @@
 // Snapshot-by-snapshot DGNN inference — the execution pattern of the
 // baseline software frameworks (paper section 2.2).
-#include "common/stopwatch.hpp"
 #include "nn/engine.hpp"
 #include "nn/engine_detail.hpp"
 #include "nn/gcn.hpp"
+#include "obs/timer.hpp"
 #include "tensor/ops.hpp"
 
 namespace tagnn {
@@ -24,7 +24,8 @@ EngineResult ReferenceEngine::run(const DynamicGraph& g,
   for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
     const Snapshot& snap = g.snapshot(t);
 
-    Stopwatch sw;
+    obs::ScopedTimer t_gnn(&res.seconds.gnn, "reference.gnn", "engine",
+                           "tagnn.engine.gnn_seconds");
     const Matrix* in = &snap.features;
     for (std::size_t l = 0; l < layers; ++l) {
       Matrix& out = (l % 2 == 0) ? a : b;
@@ -48,9 +49,10 @@ EngineResult ReferenceEngine::run(const DynamicGraph& g,
       in = &out;
     }
     const Matrix& z = *in;
-    res.seconds.gnn += sw.seconds();
+    t_gnn.stop();
 
-    sw.reset();
+    obs::ScopedTimer t_rnn(&res.seconds.rnn, "reference.rnn", "engine",
+                           "tagnn.engine.rnn_seconds");
     detail::parallel_vertices(
         n,
         [&](VertexId v, OpCounts& counts) {
@@ -62,7 +64,7 @@ EngineResult ReferenceEngine::run(const DynamicGraph& g,
     // Gate matrices loaded once per snapshot.
     res.rnn_counts.weight_bytes +=
         static_cast<double>(weights.rnn_param_count()) * 4.0;
-    res.seconds.rnn += sw.seconds();
+    t_rnn.stop();
 
     if (opts_.store_outputs) res.outputs.push_back(st.h);
     ++res.snapshots_processed;

@@ -1,0 +1,95 @@
+#include "obs/cli.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tagnn::obs {
+namespace {
+
+std::string need_value(const std::vector<std::string>& args, std::size_t& i,
+                       const std::string& flag) {
+  if (i + 1 >= args.size()) {
+    throw std::invalid_argument("missing value for " + flag);
+  }
+  return args[++i];
+}
+
+}  // namespace
+
+std::vector<std::string> split_eq_flags(int argc, char** argv) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    const std::size_t eq = a.find('=');
+    if (a.size() > 2 && a[0] == '-' && a[1] == '-' &&
+        eq != std::string::npos) {
+      out.push_back(a.substr(0, eq));
+      out.push_back(a.substr(eq + 1));
+    } else {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+bool consume_telemetry_flag(const std::vector<std::string>& args,
+                            std::size_t& i, TelemetryCliOptions& o) {
+  const std::string& a = args[i];
+  if (a == "--metrics-out") {
+    o.metrics_out = need_value(args, i, a);
+    return true;
+  }
+  if (a == "--trace-out") {
+    o.trace_out = need_value(args, i, a);
+    return true;
+  }
+  if (a == "--metrics-format") {
+    const std::string f = need_value(args, i, a);
+    if (f != "json" && f != "csv") {
+      throw std::invalid_argument("--metrics-format must be json or csv, got '" +
+                                  f + "'");
+    }
+    o.metrics_format = f;
+    return true;
+  }
+  if (a == "--no-telemetry") {
+    o.disable_telemetry = true;
+    return true;
+  }
+  return false;
+}
+
+const char* telemetry_usage() {
+  return "       [--metrics-out FILE] [--metrics-format json|csv]\n"
+         "       [--trace-out FILE] [--no-telemetry]\n";
+}
+
+void write_metrics_file(const TelemetryCliOptions& o,
+                        const MetricsSnapshot& snapshot) {
+  std::ofstream f(o.metrics_out);
+  if (!f) {
+    throw std::runtime_error("cannot open metrics output file: " +
+                             o.metrics_out);
+  }
+  if (o.metrics_format == "csv") {
+    snapshot.write_csv(f);
+  } else {
+    snapshot.write_json(f);
+  }
+}
+
+void write_trace_file(const TelemetryCliOptions& o,
+                      const TraceCollector& collector) {
+  std::ofstream f(o.trace_out);
+  if (!f) {
+    throw std::runtime_error("cannot open trace output file: " +
+                             o.trace_out);
+  }
+  collector.write_json(f);
+}
+
+}  // namespace tagnn::obs

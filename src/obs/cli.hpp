@@ -1,0 +1,51 @@
+// Telemetry CLI plumbing shared by tools and tested in test_obs.
+//
+// Recognised flags (value either space- or '='-separated):
+//   --metrics-out FILE        write a metrics snapshot on exit
+//   --trace-out FILE          write a Chrome trace_event JSON on exit
+//   --metrics-format json|csv snapshot encoding (default json)
+//   --no-telemetry            runtime telemetry off-switch
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tagnn::obs {
+
+struct MetricsSnapshot;
+class TraceCollector;
+
+struct TelemetryCliOptions {
+  std::string metrics_out;
+  std::string trace_out;
+  std::string metrics_format = "json";
+  bool disable_telemetry = false;
+
+  bool wants_metrics() const { return !metrics_out.empty(); }
+  bool wants_trace() const { return !trace_out.empty(); }
+};
+
+/// Splits each "--flag=value" token into "--flag", "value" so parsers
+/// can treat both spellings alike. Non-flag tokens pass through.
+std::vector<std::string> split_eq_flags(int argc, char** argv);
+
+/// If args[i] is a telemetry flag, consumes it (and its value,
+/// advancing i past everything consumed) into `o` and returns true.
+/// Throws std::invalid_argument on a missing value or an unknown
+/// --metrics-format.
+bool consume_telemetry_flag(const std::vector<std::string>& args,
+                            std::size_t& i, TelemetryCliOptions& o);
+
+/// One-line usage blurb for tools' --help output.
+const char* telemetry_usage();
+
+/// Writes the snapshot to o.metrics_out in o.metrics_format. Throws
+/// std::runtime_error when the file cannot be opened.
+void write_metrics_file(const TelemetryCliOptions& o,
+                        const MetricsSnapshot& snapshot);
+
+/// Writes the collector's trace JSON to o.trace_out.
+void write_trace_file(const TelemetryCliOptions& o,
+                      const TraceCollector& collector);
+
+}  // namespace tagnn::obs

@@ -1,0 +1,18 @@
+// Minimal strict JSON validator (RFC 8259 grammar, no extensions).
+//
+// Used by tests and tools/json_validate to check that every emitted
+// report, metrics snapshot, and Chrome trace is well-formed without
+// pulling in a JSON library dependency.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace tagnn::obs {
+
+/// Returns true when `text` is exactly one valid JSON value (with
+/// optional surrounding whitespace). On failure, `error` (if non-null)
+/// receives a message with the byte offset of the first problem.
+bool json_valid(std::string_view text, std::string* error = nullptr);
+
+}  // namespace tagnn::obs

@@ -1,0 +1,75 @@
+// RAII scoped timer: the one way to time a phase.
+//
+// One construction measures a wall-clock span (via common/stopwatch.hpp)
+// and, on stop/destruction, fans the duration out to up to three sinks:
+//  * an accumulator double (the engines' PhaseSeconds fields);
+//  * a metrics histogram in the global registry (seconds);
+//  * a host span on the active TraceCollector.
+// Every sink is optional and each inactive sink costs nothing beyond a
+// branch, so this replaces the previous ad-hoc Stopwatch bookkeeping in
+// the engines and benches without changing their costs.
+#pragma once
+
+#include <string_view>
+
+#include "common/stopwatch.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tagnn::obs {
+
+class ScopedTimer {
+ public:
+  /// All sinks optional: `accumulate_seconds` += elapsed;
+  /// `histogram_name` records elapsed seconds in the global registry;
+  /// `trace_name` emits a host span with category `trace_category`.
+  explicit ScopedTimer(double* accumulate_seconds = nullptr,
+                       const char* trace_name = nullptr,
+                       const char* trace_category = "host",
+                       const char* histogram_name = nullptr)
+      : acc_(accumulate_seconds),
+        trace_name_(trace_name),
+        trace_category_(trace_category),
+        histogram_name_(histogram_name),
+        tc_(trace_name != nullptr ? TraceCollector::active() : nullptr) {
+    if (tc_ != nullptr) start_us_ = tc_->now_us();
+  }
+
+  ~ScopedTimer() { stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Elapsed seconds so far (running or stopped).
+  double seconds() const { return stopped_ ? elapsed_ : sw_.seconds(); }
+
+  /// Flushes to the configured sinks; idempotent, also run by the
+  /// destructor. Use to end a phase before the scope does.
+  void stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    elapsed_ = sw_.seconds();
+    if (acc_ != nullptr) *acc_ += elapsed_;
+    if (histogram_name_ != nullptr && telemetry_enabled()) {
+      MetricsRegistry::global().record(std::string_view(histogram_name_),
+                                       elapsed_);
+    }
+    if (tc_ != nullptr) {
+      tc_->host_span(trace_name_, trace_category_, start_us_,
+                     tc_->now_us() - start_us_);
+    }
+  }
+
+ private:
+  Stopwatch sw_;
+  double* acc_;
+  const char* trace_name_;
+  const char* trace_category_;
+  const char* histogram_name_;
+  TraceCollector* tc_;
+  double start_us_ = 0;
+  double elapsed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace tagnn::obs

@@ -29,6 +29,7 @@ class PingPongBuffer {
     const std::size_t room = bank_bytes_ - fill_level_;
     const std::size_t take = bytes < room ? bytes : room;
     fill_level_ += take;
+    if (fill_level_ > high_water_) high_water_ = fill_level_;
     produced_ += take;
     if (take < bytes) ++producer_stalls_;
     return take;
@@ -55,6 +56,8 @@ class PingPongBuffer {
 
   std::size_t fill_level() const { return fill_level_; }
   std::size_t drain_level() const { return drain_level_; }
+  /// Highest fill level ever reached (buffer-sizing telemetry).
+  std::size_t high_water() const { return high_water_; }
   std::size_t producer_stalls() const { return producer_stalls_; }
   std::size_t consumer_stalls() const { return consumer_stalls_; }
   std::size_t overruns() const { return overruns_; }
@@ -64,6 +67,7 @@ class PingPongBuffer {
 
  private:
   std::size_t bank_bytes_;
+  std::size_t high_water_ = 0;
   std::size_t fill_level_ = 0;
   std::size_t drain_level_ = 0;
   std::size_t produced_ = 0;

@@ -23,6 +23,7 @@ Cycle HbmModel::transfer(double bytes, double sequential_fraction) {
       std::ceil(bytes / bpc + latency_cycles));
   total_bytes_ += bytes;
   total_cycles_ += cycles;
+  ++transactions_;
   // Round-robin stripe across pseudo-channels.
   if (channel_bytes_.size() != cfg_.channels) {
     channel_bytes_.assign(cfg_.channels, 0.0);
@@ -44,6 +45,7 @@ Cycle HbmModel::transfer_on_channel(std::size_t channel, double bytes,
       std::ceil(bytes / bpc + latency_cycles));
   total_bytes_ += bytes;
   total_cycles_ += cycles;
+  ++transactions_;
   if (channel_bytes_.size() != cfg_.channels) {
     channel_bytes_.assign(cfg_.channels, 0.0);
   }

@@ -49,14 +49,20 @@ class HbmModel {
 
   /// Effective bytes/cycle at the consumer clock for a given pattern.
   double bytes_per_cycle(double sequential_fraction) const;
+  /// Peak (fully sequential) bytes/cycle — the denominator of the
+  /// bandwidth-occupancy attribution.
+  double peak_bytes_per_cycle() const { return bytes_per_cycle(1.0); }
 
   double total_bytes() const { return total_bytes_; }
   Cycle total_cycles() const { return total_cycles_; }
+  /// Number of transfer() / transfer_on_channel() burst trains served.
+  std::size_t transactions() const { return transactions_; }
 
  private:
   HbmConfig cfg_;
   double total_bytes_ = 0;
   Cycle total_cycles_ = 0;
+  std::size_t transactions_ = 0;
   std::vector<double> channel_bytes_;
 };
 

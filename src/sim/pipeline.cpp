@@ -32,6 +32,20 @@ Cycle PipelineSim::total_cycles() const {
   return done_.empty() ? 0 : done_.back();
 }
 
+Cycle PipelineSim::stage_stall(std::size_t s) const {
+  const Cycle total = total_cycles();
+  return total > busy_[s] ? total - busy_[s] : 0;
+}
+
+std::vector<PipelineSim::StageStats> PipelineSim::stage_stats() const {
+  std::vector<StageStats> out;
+  out.reserve(names_.size());
+  for (std::size_t s = 0; s < names_.size(); ++s) {
+    out.push_back({names_[s], busy_[s], stage_stall(s)});
+  }
+  return out;
+}
+
 double PipelineSim::bottleneck_utilization() const {
   const Cycle total = total_cycles();
   if (total == 0) return 0.0;

@@ -33,9 +33,20 @@ class PipelineSim {
   Cycle total_cycles() const;
   /// Busy cycles of one stage (sum of its latencies).
   Cycle stage_busy(std::size_t s) const { return busy_[s]; }
+  /// Cycles the stage sat idle or back-pressured while the pipeline ran
+  /// (total - busy); the per-stage stall attribution of Fig. 2(d).
+  Cycle stage_stall(std::size_t s) const;
   const std::string& stage_name(std::size_t s) const { return names_[s]; }
   /// Busy fraction of the bottleneck stage (1.0 = fully saturated).
   double bottleneck_utilization() const;
+
+  /// Per-stage busy/stall rollup for telemetry reports.
+  struct StageStats {
+    std::string name;
+    Cycle busy = 0;
+    Cycle stall = 0;
+  };
+  std::vector<StageStats> stage_stats() const;
 
  private:
   std::vector<std::string> names_;

@@ -5,6 +5,9 @@
 
 #include "common/check.hpp"
 #include "nn/rnn.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/buffer.hpp"
 #include "tagnn/dispatcher.hpp"
 #include "graph/formats.hpp"
 #include "tagnn/msdl.hpp"
@@ -15,6 +18,40 @@ namespace {
 Cycle ceil_div(double a, double b) {
   return static_cast<Cycle>(std::ceil(a / b));
 }
+
+// Sums per-stage busy/stall across windows (stage lists are identical
+// every window, so index-wise accumulation is safe).
+void accumulate_stages(std::vector<PipelineSim::StageStats>* into,
+                       const std::vector<PipelineSim::StageStats>& s) {
+  if (into->empty()) {
+    *into = s;
+    return;
+  }
+  TAGNN_DCHECK(into->size() == s.size());
+  for (std::size_t i = 0; i < s.size() && i < into->size(); ++i) {
+    (*into)[i].busy += s[i].busy;
+    (*into)[i].stall += s[i].stall;
+  }
+}
+
+// Simulated-timeline track handles on the active trace collector (null
+// when tracing is off). One track per dataflow unit under the sim pid.
+struct SimTracks {
+  obs::TraceCollector* tc = nullptr;
+  int msdl = 0, gnn = 0, rnn = 0, memory = 0;
+
+  static SimTracks open() {
+    SimTracks t;
+    if (!obs::telemetry_enabled()) return t;
+    t.tc = obs::TraceCollector::active();
+    if (!t.tc) return t;
+    t.msdl = t.tc->sim_track("accel.msdl");
+    t.gnn = t.tc->sim_track("accel.gnn");
+    t.rnn = t.tc->sim_track("accel.rnn");
+    t.memory = t.tc->sim_track("accel.memory");
+    return t;
+  }
+};
 
 // Dataflow units overlap imperfectly: the intra-snapshot GNN -> RNN
 // dependency, batch-boundary barriers, and buffer turn-arounds expose a
@@ -54,6 +91,10 @@ AccelResult TagnnAccelerator::run(const DynamicGraph& g,
   const Msdl msdl(cfg_);
   HbmModel hbm(cfg_.hbm);
 
+  const SimTracks tracks = SimTracks::open();
+  PingPongBuffer feature_buffer(cfg_.feature_buffer_bytes);
+  Cycle cursor = 0;  // accelerator-timeline cycle at which the window starts
+
   double util_work = 0, util_span = 0;
   const auto total_snaps = static_cast<SnapshotId>(g.num_snapshots());
   for (SnapshotId start = 0; start < total_snaps; start += cfg_.window) {
@@ -63,16 +104,28 @@ AccelResult TagnnAccelerator::run(const DynamicGraph& g,
 
     // ---- MSDL: loader pipelines + format-dependent load traffic. ----
     Cycle msdl_cycles = 0;
-    Cycle mem_cycles = 0;
+    Cycle mem_load = 0, mem_gnn = 0, mem_rnn = 0, mem_spill = 0;
     MsdlResult load = msdl.process_window(g, w);
     if (cfg_.enable_oadl) {
       msdl_cycles = load.total_cycles();
-      mem_cycles += hbm.transfer(load.dram_bytes, load.sequential_fraction);
+      mem_load = hbm.transfer(load.dram_bytes, load.sequential_fraction);
       res.dram_bytes += load.dram_bytes;
     } else if (cfg_.enable_adsc) {
       // ADSC still needs the classification pass for N_sv.
       msdl_cycles = load.classification_cycles;
     }
+    accumulate_stages(&res.telemetry.classify_stages, load.classify_stages);
+    accumulate_stages(&res.telemetry.traverse_stages, load.traverse_stages);
+
+    // Stage the window working set through the feature ping-pong buffer
+    // (sizing telemetry: high-water mark + bank overflows).
+    const auto staged = static_cast<std::size_t>(
+        std::min<double>(load.dram_bytes, 1e18));
+    if (feature_buffer.produce(staged) < staged) {
+      ++res.telemetry.feature_buffer_overflow_windows;
+    }
+    feature_buffer.swap();
+    feature_buffer.consume(feature_buffer.drain_level());
 
     // ---- GNN: per-layer task pools across all K snapshots. ----
     std::vector<std::vector<bool>> unchanged;
@@ -156,19 +209,20 @@ AccelResult TagnnAccelerator::run(const DynamicGraph& g,
         gnn_bytes *= std::max(1.0, load.dram_bytes / ocsr_bytes);
       }
     }
-    mem_cycles += hbm.transfer(
+    mem_gnn = hbm.transfer(
         gnn_bytes, cfg_.enable_oadl ? load.sequential_fraction : 0.45);
     res.dram_bytes += gnn_bytes;
 
     const OpCounts rc = res.functional.rnn_counts;
     const double rnn_bytes =
         (rc.feature_bytes + rc.output_bytes + rc.weight_bytes) * frac;
-    mem_cycles += hbm.transfer(rnn_bytes, 0.7);
+    mem_rnn = hbm.transfer(rnn_bytes, 0.7);
     res.dram_bytes += rnn_bytes;
 
     // ---- Buffer-capacity spill: if the window's staged working set
     // exceeds the on-chip feature/structure/O-CSR stores, the overflow
     // is evicted and re-fetched once per additional GNN layer. ----
+    double spill_bytes = 0;
     if (cfg_.enable_oadl && layers > 1) {
       const double capacity =
           static_cast<double>(cfg_.feature_buffer_bytes +
@@ -176,9 +230,8 @@ AccelResult TagnnAccelerator::run(const DynamicGraph& g,
                               cfg_.structure_memory_bytes);
       const double overflow = std::max(0.0, load.dram_bytes - capacity);
       if (overflow > 0) {
-        const double spill_bytes =
-            overflow * static_cast<double>(layers - 1);
-        mem_cycles +=
+        spill_bytes = overflow * static_cast<double>(layers - 1);
+        mem_spill =
             hbm.transfer(spill_bytes, load.sequential_fraction);
         res.dram_bytes += spill_bytes;
       }
@@ -210,13 +263,67 @@ AccelResult TagnnAccelerator::run(const DynamicGraph& g,
         frac / ndcu;
     const auto rnn_cycles = static_cast<Cycle>(rnn_cycles_d);
 
+    const Cycle mem_cycles = mem_load + mem_gnn + mem_rnn + mem_spill;
     res.cycles.msdl += msdl_cycles;
     res.cycles.gnn += gnn_cycles;
     res.cycles.rnn += rnn_cycles;
     res.cycles.memory += mem_cycles;
     // GNN and RNN pipeline per vertex; MSDL and memory overlap compute.
     const Cycle compute = overlap({gnn_cycles, rnn_cycles});
-    res.cycles.total += overlap({compute, msdl_cycles, mem_cycles});
+    const Cycle win_total = overlap({compute, msdl_cycles, mem_cycles});
+    res.cycles.total += win_total;
+
+    AccelWindowRecord rec;
+    rec.window = w;
+    rec.begin = cursor;
+    rec.total = win_total;
+    rec.msdl = msdl_cycles;
+    rec.gnn = gnn_cycles;
+    rec.rnn = rnn_cycles;
+    rec.memory = mem_cycles;
+    rec.dram_bytes = load.dram_bytes + gnn_bytes + rnn_bytes + spill_bytes;
+    rec.affected_vertices = load.subgraph.size();
+    res.telemetry.window_records.push_back(rec);
+
+    if (tracks.tc) {
+      const std::string wname =
+          "window[" + std::to_string(w.start) + "," +
+          std::to_string(w.end()) + ")";
+      const std::vector<obs::TraceArg> wargs = {
+          {"start_snapshot", std::to_string(w.start)},
+          {"snapshots", std::to_string(w.length)},
+          {"affected_vertices", std::to_string(rec.affected_vertices)},
+      };
+      auto unit_span = [&](int tid, const char* unit, Cycle busy) {
+        tracks.tc->sim_span(tid, wname + " " + unit, "pipeline", cursor,
+                            busy, wargs);
+        if (busy < win_total) {
+          tracks.tc->sim_span(tid, std::string(unit) + ":stall", "stall",
+                              cursor + busy, win_total - busy);
+        }
+      };
+      unit_span(tracks.msdl, "msdl", msdl_cycles);
+      unit_span(tracks.gnn, "gnn", gnn_cycles);
+      unit_span(tracks.rnn, "rnn", rnn_cycles);
+      // HBM transactions back-to-back on the memory track.
+      Cycle mem_at = cursor;
+      auto mem_span = [&](const char* what, Cycle cyc, double bytes) {
+        if (cyc == 0) return;
+        tracks.tc->sim_span(
+            tracks.memory, std::string("hbm:") + what, "memory", mem_at,
+            cyc, {{"bytes", std::to_string(bytes)}});
+        mem_at += cyc;
+      };
+      mem_span("load", mem_load, load.dram_bytes);
+      mem_span("gnn", mem_gnn, gnn_bytes);
+      mem_span("rnn", mem_rnn, rnn_bytes);
+      mem_span("spill", mem_spill, spill_bytes);
+      if (mem_cycles < win_total) {
+        tracks.tc->sim_span(tracks.memory, "memory:stall", "stall",
+                            cursor + mem_cycles, win_total - mem_cycles);
+      }
+    }
+    cursor += win_total;
   }
 
   res.dcu_utilization = util_span > 0 ? util_work / util_span : 0.0;
@@ -227,6 +334,69 @@ AccelResult TagnnAccelerator::run(const DynamicGraph& g,
   // buffer hops for the compute phases.
   const EnergyModel em(cfg_.energy);
   res.energy = em.energy(all, res.seconds, 2.5 * res.dram_bytes);
+
+  // ---- Utilization attribution: per-unit busy vs. stall against the
+  // overlapped end-to-end total, MAC-array and HBM-bandwidth occupancy,
+  // buffer sizing. stall = total - busy per unit, so every unit's
+  // busy + stall equals cycles.total exactly. ----
+  auto unit = [&](const char* name, Cycle busy) {
+    AccelUnitStats u;
+    u.name = name;
+    u.busy = busy;
+    u.stall = res.cycles.total >= busy ? res.cycles.total - busy : 0;
+    res.telemetry.units.push_back(std::move(u));
+  };
+  unit("msdl", res.cycles.msdl);
+  unit("gnn", res.cycles.gnn);
+  unit("rnn", res.cycles.rnn);
+  unit("memory", res.cycles.memory);
+
+  const double total_cycles = static_cast<double>(res.cycles.total);
+  if (total_cycles > 0) {
+    res.telemetry.mac_occupancy = std::min(
+        1.0, all.macs / (total_cycles *
+                         static_cast<double>(cfg_.total_macs())));
+    res.telemetry.hbm_bw_occupancy = std::min(
+        1.0, res.dram_bytes / (total_cycles * hbm.peak_bytes_per_cycle()));
+  }
+  res.telemetry.hbm_transactions = hbm.transactions();
+  res.telemetry.feature_buffer_high_water = feature_buffer.high_water();
+
+  if (obs::telemetry_enabled()) {
+    obs::gauge_set("tagnn.accel.cycles.total",
+                   static_cast<double>(res.cycles.total));
+    for (const AccelUnitStats& u : res.telemetry.units) {
+      obs::gauge_set("tagnn.accel.unit." + u.name + ".busy_cycles",
+                     static_cast<double>(u.busy));
+      obs::gauge_set("tagnn.accel.unit." + u.name + ".stall_cycles",
+                     static_cast<double>(u.stall));
+    }
+    auto stage_gauges = [](const char* pipe,
+                           const std::vector<PipelineSim::StageStats>& ss) {
+      for (const auto& s : ss) {
+        const std::string base =
+            std::string("tagnn.accel.msdl.") + pipe + "." + s.name;
+        obs::gauge_set(base + ".busy_cycles", static_cast<double>(s.busy));
+        obs::gauge_set(base + ".stall_cycles",
+                       static_cast<double>(s.stall));
+      }
+    };
+    stage_gauges("classify", res.telemetry.classify_stages);
+    stage_gauges("traverse", res.telemetry.traverse_stages);
+    obs::gauge_set("tagnn.accel.mac_occupancy",
+                   res.telemetry.mac_occupancy);
+    obs::gauge_set("tagnn.accel.hbm_bw_occupancy",
+                   res.telemetry.hbm_bw_occupancy);
+    obs::gauge_set("tagnn.accel.hbm_transactions",
+                   static_cast<double>(res.telemetry.hbm_transactions));
+    obs::gauge_set(
+        "tagnn.accel.buffer_high_water_bytes",
+        static_cast<double>(res.telemetry.feature_buffer_high_water));
+    obs::gauge_set("tagnn.accel.dram_bytes", res.dram_bytes);
+    obs::gauge_set("tagnn.accel.dcu_utilization", res.dcu_utilization);
+    obs::gauge_set("tagnn.accel.windows",
+                   static_cast<double>(res.windows));
+  }
   return res;
 }
 

@@ -10,8 +10,12 @@
 // bottleneck unit plus a small imperfect-overlap term.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "nn/engine.hpp"
 #include "sim/energy.hpp"
+#include "sim/pipeline.hpp"
 #include "tagnn/config.hpp"
 
 namespace tagnn {
@@ -26,6 +30,51 @@ struct AccelCycles {
   Cycle compute() const { return gnn + rnn; }
 };
 
+/// Busy/stall attribution for one dataflow unit across the whole run.
+/// stall is defined as cycles.total - busy, so busy + stall equals the
+/// end-to-end total for every unit by construction and the utilization
+/// report always sums consistently.
+struct AccelUnitStats {
+  std::string name;  // "msdl", "gnn", "rnn", "memory"
+  Cycle busy = 0;
+  Cycle stall = 0;
+};
+
+/// One window's slice of the accelerator timeline (cycle axis).
+struct AccelWindowRecord {
+  Window window;
+  Cycle begin = 0;      // cumulative start cycle of this window
+  Cycle total = 0;      // overlapped latency of this window
+  Cycle msdl = 0;       // per-unit cycles inside the window
+  Cycle gnn = 0;
+  Cycle rnn = 0;
+  Cycle memory = 0;
+  double dram_bytes = 0;
+  std::size_t affected_vertices = 0;
+};
+
+/// Utilization attribution gathered during run(). Always populated (it
+/// is part of the result and cheap next to the simulation itself); only
+/// the metrics-registry / trace-collector publication is gated on the
+/// runtime telemetry switch.
+struct AccelTelemetry {
+  std::vector<AccelWindowRecord> window_records;
+  /// Loader pipeline stage busy/stall, summed across windows.
+  std::vector<PipelineSim::StageStats> classify_stages;
+  std::vector<PipelineSim::StageStats> traverse_stages;
+  /// msdl / gnn / rnn / memory, each with busy + stall == cycles.total.
+  std::vector<AccelUnitStats> units;
+  /// Functional MACs over (total cycles x MAC array size), in [0, 1].
+  double mac_occupancy = 0;
+  /// DRAM bytes over (total cycles x peak HBM bytes/cycle), in [0, 1].
+  double hbm_bw_occupancy = 0;
+  std::size_t hbm_transactions = 0;
+  /// Feature ping-pong buffer staging: highest bank fill level reached
+  /// and how many windows overflowed one bank.
+  std::size_t feature_buffer_high_water = 0;
+  std::size_t feature_buffer_overflow_windows = 0;
+};
+
 struct AccelResult {
   /// Functional results + measured op/byte tallies.
   EngineResult functional;
@@ -35,6 +84,7 @@ struct AccelResult {
   double dram_bytes = 0;        // total off-chip traffic
   double dcu_utilization = 0;   // work / (makespan * DCUs), GNN phase
   std::size_t windows = 0;
+  AccelTelemetry telemetry;
 };
 
 class TagnnAccelerator {

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace tagnn {
 
@@ -46,6 +47,24 @@ DispatchResult dispatch_tasks(std::vector<DispatchTask> tasks,
   r.utilization =
       static_cast<double>(r.total_work) /
       (static_cast<double>(r.makespan) * static_cast<double>(num_dcus));
+
+  if (obs::telemetry_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static const obs::MetricId kBalanced =
+        reg.counter("tagnn.dispatch.pools_balanced");
+    static const obs::MetricId kNaive =
+        reg.counter("tagnn.dispatch.pools_naive");
+    static const obs::MetricId kTasks =
+        reg.counter("tagnn.dispatch.tasks");
+    static const obs::MetricId kPoolSize =
+        reg.histogram("tagnn.dispatch.pool_tasks");
+    static const obs::MetricId kUtil =
+        reg.histogram("tagnn.dispatch.pool_utilization");
+    reg.add(balanced ? kBalanced : kNaive);
+    reg.add(kTasks, tasks.size());
+    reg.record(kPoolSize, static_cast<double>(tasks.size()));
+    reg.record(kUtil, r.utilization);
+  }
   return r;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "graph/formats.hpp"
+#include "obs/metrics.hpp"
 
 namespace tagnn {
 namespace {
@@ -48,6 +49,7 @@ MsdlResult Msdl::process_window(const DynamicGraph& g, Window w) const {
     });
   }
   r.classification_cycles = classify.total_cycles();
+  r.classify_stages = classify.stage_stats();
 
   // --- 5-stage TFSM traversal pipeline, one feed per subgraph vertex. ---
   PipelineSim traverse({"Fetch_Root", "Fetch_Neighbors", "Type_Detection",
@@ -67,6 +69,7 @@ MsdlResult Msdl::process_window(const DynamicGraph& g, Window w) const {
     });
   }
   r.traversal_cycles = traverse.total_cycles();
+  r.traverse_stages = traverse.stage_stats();
   (void)d;
 
   // --- Loader DRAM traffic under the configured storage format. ---
@@ -97,6 +100,19 @@ MsdlResult Msdl::process_window(const DynamicGraph& g, Window w) const {
     if (!r.ocsr.has_feature(v, w.start)) ++outside;
   }
   r.dram_bytes += static_cast<double>(outside) * d * 4.0;
+
+  if (obs::telemetry_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static const obs::MetricId kWindows =
+        reg.counter("tagnn.msdl.windows_loaded");
+    static const obs::MetricId kAffected =
+        reg.histogram("tagnn.msdl.affected_subgraph_vertices");
+    static const obs::MetricId kBytes =
+        reg.histogram("tagnn.msdl.window_dram_bytes");
+    reg.add(kWindows);
+    reg.record(kAffected, static_cast<double>(r.subgraph.size()));
+    reg.record(kBytes, r.dram_bytes);
+  }
   return r;
 }
 

@@ -26,6 +26,10 @@ struct MsdlResult {
   double dram_bytes = 0;
   /// Burst-friendliness of those transfers (format dependent).
   double sequential_fraction = 0.9;
+  /// Per-stage busy/stall cycles of the two loader pipelines, for the
+  /// utilization-attribution report (Fig. 13-style breakdowns).
+  std::vector<PipelineSim::StageStats> classify_stages;
+  std::vector<PipelineSim::StageStats> traverse_stages;
 
   Cycle total_cycles() const {
     return classification_cycles + traversal_cycles;

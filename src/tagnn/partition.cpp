@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace tagnn {
 namespace {
@@ -148,6 +149,24 @@ Partitioning partition_window(const DynamicGraph& g, Window w,
       total_edges > 0
           ? static_cast<double>(internal) / static_cast<double>(total_edges)
           : 1.0;
+
+  if (obs::telemetry_enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    static const obs::MetricId kWindows =
+        reg.counter("tagnn.partition.windows");
+    static const obs::MetricId kMass =
+        reg.histogram("tagnn.partition.edge_mass");
+    static const obs::MetricId kImbalance =
+        reg.histogram("tagnn.partition.imbalance");
+    static const obs::MetricId kInternal =
+        reg.histogram("tagnn.partition.internal_edge_fraction");
+    reg.add(kWindows);
+    for (std::size_t mass : p.edge_mass) {
+      reg.record(kMass, static_cast<double>(mass));
+    }
+    reg.record(kImbalance, p.imbalance());
+    reg.record(kInternal, p.internal_edge_fraction);
+  }
   return p;
 }
 

@@ -72,7 +72,42 @@ void write_json_report(std::ostream& os, const std::string& workload,
      << "    \"dram\": " << r.energy.dram_j << ",\n"
      << "    \"static\": " << r.energy.static_j << "\n"
      << "  },\n"
-     << "  \"dcu_utilization\": " << r.dcu_utilization << ",\n"
+     << "  \"dcu_utilization\": " << r.dcu_utilization << ",\n";
+  // Utilization attribution (telemetry): per-unit busy/stall against
+  // the overlapped total, occupancies, buffer sizing.
+  os << "  \"utilization\": {\n"
+     << "    \"mac_occupancy\": " << r.telemetry.mac_occupancy << ",\n"
+     << "    \"hbm_bw_occupancy\": " << r.telemetry.hbm_bw_occupancy
+     << ",\n"
+     << "    \"hbm_transactions\": " << r.telemetry.hbm_transactions
+     << ",\n"
+     << "    \"feature_buffer_high_water_bytes\": "
+     << r.telemetry.feature_buffer_high_water << ",\n"
+     << "    \"feature_buffer_overflow_windows\": "
+     << r.telemetry.feature_buffer_overflow_windows << ",\n"
+     << "    \"units\": {";
+  for (std::size_t i = 0; i < r.telemetry.units.size(); ++i) {
+    const auto& u = r.telemetry.units[i];
+    os << (i ? ", " : "") << "\"" << json_escape(u.name)
+       << "\": {\"busy_cycles\": " << u.busy
+       << ", \"stall_cycles\": " << u.stall << "}";
+  }
+  os << "},\n";
+  const auto stage_object =
+      [&os](const std::vector<PipelineSim::StageStats>& ss) {
+        os << "{";
+        for (std::size_t i = 0; i < ss.size(); ++i) {
+          os << (i ? ", " : "") << "\"" << json_escape(ss[i].name)
+             << "\": {\"busy_cycles\": " << ss[i].busy
+             << ", \"stall_cycles\": " << ss[i].stall << "}";
+        }
+        os << "}";
+      };
+  os << "    \"classify_stages\": ";
+  stage_object(r.telemetry.classify_stages);
+  os << ",\n    \"traverse_stages\": ";
+  stage_object(r.telemetry.traverse_stages);
+  os << "\n  },\n"
      << "  \"counts\": {\n"
      << "    \"macs\": " << c.macs << ",\n"
      << "    \"feature_bytes\": " << c.feature_bytes << ",\n"

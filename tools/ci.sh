@@ -31,6 +31,26 @@ for preset in "${presets[@]}"; do
   cmake --build --preset "$preset" -j "$jobs"
   echo "=== [$preset] test ==="
   ctest --preset "$preset" -j "$jobs"
+
+  # Telemetry smoke: the simulator must emit valid metrics + Chrome
+  # trace JSON (see docs/OBSERVABILITY.md) under every preset.
+  echo "=== [$preset] telemetry smoke ==="
+  build_dir="build"
+  [ "$preset" != "default" ] && build_dir="build-$preset"
+  smoke_dir="$(mktemp -d)"
+  "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
+    --metrics-out="$smoke_dir/metrics.json" \
+    --trace-out="$smoke_dir/trace.json" > /dev/null
+  "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
+    --metrics-out="$smoke_dir/metrics.csv" --metrics-format=csv > /dev/null
+  "$build_dir/tools/json_validate" \
+    "$smoke_dir/metrics.json" "$smoke_dir/trace.json"
+  grep -q '^name,kind,value' "$smoke_dir/metrics.csv"
+  if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "$smoke_dir/metrics.json" > /dev/null
+    python3 -m json.tool "$smoke_dir/trace.json" > /dev/null
+  fi
+  rm -rf "$smoke_dir"
 done
 
 if [ "$fast" -eq 0 ]; then

@@ -1,0 +1,35 @@
+// json_validate — strict JSON well-formedness checker for CI smoke
+// tests (validates --metrics-out / --trace-out files without any
+// external dependency).
+//
+// Usage: json_validate FILE...
+// Exits 0 when every file parses, 1 otherwise (first error printed).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/jsonv.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " FILE...\n";
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream f(argv[i]);
+    if (!f) {
+      std::cerr << argv[i] << ": cannot open\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    std::string error;
+    if (!tagnn::obs::json_valid(buf.str(), &error)) {
+      std::cerr << argv[i] << ": invalid JSON: " << error << "\n";
+      return 1;
+    }
+    std::cout << argv[i] << ": ok\n";
+  }
+  return 0;
+}

@@ -18,12 +18,17 @@
 // every mutation for the whole run.
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
 #include "graph/datasets.hpp"
 #include "graph/trace_io.hpp"
 #include "nn/engine.hpp"
+#include "obs/cli.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tagnn/accelerator.hpp"
 #include "tagnn/report.hpp"
 
@@ -43,6 +48,7 @@ struct Options {
   bool csv = false;
   bool json = false;
   bool self_check = false;
+  obs::TelemetryCliOptions tel;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -54,19 +60,23 @@ struct Options {
          "       [--format ocsr|csr|pma] [--no-oadl] [--no-adsc]\n"
          "       [--theta-s X] [--theta-e X]\n"
          "       [--engine accel|reference|concurrent] [--csv] [--seed N]\n"
-         "       [--self-check]\n";
+         "       [--self-check]\n"
+      << obs::telemetry_usage();
   std::exit(2);
 }
 
 Options parse(int argc, char** argv) {
   Options o;
-  auto need = [&](int& i) -> const char* {
-    if (i + 1 >= argc) usage(argv[0]);
-    return argv[++i];
+  const std::vector<std::string> args = obs::split_eq_flags(argc, argv);
+  auto need = [&](std::size_t& i) -> const std::string& {
+    if (i + 1 >= args.size()) usage(argv[0]);
+    return args[++i];
   };
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--dataset") {
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (obs::consume_telemetry_flag(args, i, o.tel)) {
+      // handled (value, if any, already consumed)
+    } else if (a == "--dataset") {
       o.dataset = need(i);
     } else if (a == "--trace") {
       o.trace = need(i);
@@ -75,15 +85,15 @@ Options parse(int argc, char** argv) {
     } else if (a == "--engine") {
       o.engine = need(i);
     } else if (a == "--scale") {
-      o.scale = std::atof(need(i));
+      o.scale = std::atof(need(i).c_str());
     } else if (a == "--snapshots") {
-      o.snapshots = static_cast<std::size_t>(std::atoi(need(i)));
+      o.snapshots = static_cast<std::size_t>(std::atoi(need(i).c_str()));
     } else if (a == "--window") {
-      o.cfg.window = static_cast<SnapshotId>(std::atoi(need(i)));
+      o.cfg.window = static_cast<SnapshotId>(std::atoi(need(i).c_str()));
     } else if (a == "--dcus") {
-      o.cfg.num_dcus = static_cast<std::size_t>(std::atoi(need(i)));
+      o.cfg.num_dcus = static_cast<std::size_t>(std::atoi(need(i).c_str()));
     } else if (a == "--macs-per-dcu") {
-      o.cfg.cpes_per_dcu = static_cast<std::size_t>(std::atoi(need(i)));
+      o.cfg.cpes_per_dcu = static_cast<std::size_t>(std::atoi(need(i).c_str()));
       o.cfg.apes_per_dcu = o.cfg.cpes_per_dcu / 2;
     } else if (a == "--format") {
       const std::string f = need(i);
@@ -95,11 +105,11 @@ Options parse(int argc, char** argv) {
     } else if (a == "--no-adsc") {
       o.cfg.enable_adsc = false;
     } else if (a == "--theta-s") {
-      o.cfg.thresholds.theta_s = static_cast<float>(std::atof(need(i)));
+      o.cfg.thresholds.theta_s = static_cast<float>(std::atof(need(i).c_str()));
     } else if (a == "--theta-e") {
-      o.cfg.thresholds.theta_e = static_cast<float>(std::atof(need(i)));
+      o.cfg.thresholds.theta_e = static_cast<float>(std::atof(need(i).c_str()));
     } else if (a == "--seed") {
-      o.seed = static_cast<std::uint64_t>(std::atoll(need(i)));
+      o.seed = static_cast<std::uint64_t>(std::atoll(need(i).c_str()));
     } else if (a == "--self-check") {
       o.self_check = true;
     } else if (a == "--csv") {
@@ -116,11 +126,13 @@ Options parse(int argc, char** argv) {
   return o;
 }
 
-int run(Options o) {
+int run_impl(const Options& o) {
   if (o.self_check) set_invariant_check_level(2);
-  const DynamicGraph g =
-      o.trace.empty() ? datasets::load(o.dataset, o.scale, o.snapshots)
-                      : read_trace_file(o.trace);
+  const DynamicGraph g = [&] {
+    obs::ScopedTrace span("load_dataset", "host");
+    return o.trace.empty() ? datasets::load(o.dataset, o.scale, o.snapshots)
+                           : read_trace_file(o.trace);
+  }();
   if (o.self_check) {
     for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
       g.snapshot(t).validate();
@@ -128,9 +140,11 @@ int run(Options o) {
     std::cerr << "self-check: input snapshots valid; structural audits "
                  "enabled at level 2\n";
   }
-  const DgnnWeights w =
-      DgnnWeights::init(ModelConfig::preset(o.model), g.feature_dim(),
-                        o.seed);
+  const DgnnWeights w = [&] {
+    obs::ScopedTrace span("init_weights", "host");
+    return DgnnWeights::init(ModelConfig::preset(o.model), g.feature_dim(),
+                             o.seed);
+  }();
 
   if (o.engine == "reference" || o.engine == "concurrent") {
     EngineOptions eo;
@@ -139,9 +153,11 @@ int run(Options o) {
     eo.cell_skip = o.cfg.enable_adsc;
     eo.thresholds = o.cfg.thresholds;
     eo.store_outputs = false;
-    const EngineResult r = o.engine == "reference"
-                               ? ReferenceEngine(eo).run(g, w)
-                               : ConcurrentEngine(eo).run(g, w);
+    const EngineResult r = [&] {
+      obs::ScopedTrace span("simulate", "host");
+      return o.engine == "reference" ? ReferenceEngine(eo).run(g, w)
+                                     : ConcurrentEngine(eo).run(g, w);
+    }();
     const OpCounts c = r.total_counts();
     if (o.csv) {
       std::cout << o.engine << ',' << g.name() << ',' << o.model << ','
@@ -157,7 +173,10 @@ int run(Options o) {
   }
 
   o.cfg.validate();
-  const AccelResult r = TagnnAccelerator(o.cfg).run(g, w);
+  const AccelResult r = [&] {
+    obs::ScopedTrace span("simulate", "host");
+    return TagnnAccelerator(o.cfg).run(g, w);
+  }();
   const OpCounts c = r.functional.total_counts();
   if (o.json) {
     write_json_report(std::cout, g.name() + "/" + o.model, o.cfg, r);
@@ -188,6 +207,26 @@ int run(Options o) {
               << c.rnn_full << " full\n";
   }
   return 0;
+}
+
+int run(const Options& o) {
+  if (o.tel.disable_telemetry) obs::set_telemetry_enabled(false);
+  // Start each invocation from a clean slate so --metrics-out reflects
+  // exactly this run.
+  obs::MetricsRegistry::global().reset();
+  std::unique_ptr<obs::TraceCollector> tc;
+  if (o.tel.wants_trace()) {
+    tc = std::make_unique<obs::TraceCollector>(o.cfg.clock_mhz);
+    obs::TraceCollector::set_active(tc.get());
+  }
+  const int rc = run_impl(o);
+  obs::TraceCollector::set_active(nullptr);
+  if (o.tel.wants_metrics()) {
+    obs::write_metrics_file(o.tel,
+                            obs::MetricsRegistry::global().snapshot());
+  }
+  if (tc != nullptr) obs::write_trace_file(o.tel, *tc);
+  return rc;
 }
 
 }  // namespace
