@@ -7,7 +7,10 @@
 // TAGNN_BENCH_METRICS_OUT (schema tagnn.bench.v1, JSON).
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -103,6 +106,56 @@ inline double geomean(const std::vector<double>& xs) {
   double log_sum = 0.0;
   for (double x : xs) log_sum += std::log(x);
   return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Seed used for every bench RNG so the measured workloads are
+/// reproducible run to run; TAGNN_BENCH_SEED overrides.
+inline std::uint64_t rng_seed() {
+  if (const char* s = std::getenv("TAGNN_BENCH_SEED")) {
+    return static_cast<std::uint64_t>(std::atoll(s));
+  }
+  return 99;
+}
+
+/// Robust wall-time summary of repeated runs: the median filters
+/// scheduler noise, the MAD-to-median ratio reports dispersion so a
+/// regression gate can tell a noisy measurement from a slow one.
+struct TimingStats {
+  double median_sec = 0;
+  double mad_frac = 0;  // median absolute deviation / median
+  int iters = 0;
+};
+
+inline double median_of(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+/// Runs `fn` `warmup` times unmeasured (touches code + data caches,
+/// spins up the thread pool), then `iters` measured times.
+template <typename F>
+TimingStats time_median(F&& fn, int iters, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> secs;
+  secs.reserve(static_cast<std::size_t>(iters));
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    secs.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  TimingStats st;
+  st.iters = iters;
+  st.median_sec = median_of(secs);
+  if (st.median_sec > 0) {
+    std::vector<double> dev;
+    dev.reserve(secs.size());
+    for (double s : secs) dev.push_back(std::fabs(s - st.median_sec));
+    st.mad_frac = median_of(dev) / st.median_sec;
+  }
+  return st;
 }
 
 }  // namespace tagnn::bench

@@ -1,0 +1,250 @@
+// Machine-readable regression bench for the hot-path kernels and the
+// end-to-end engines. Unlike the figure benches this one exists for the
+// CI gate: it emits BENCH_<name>.json with median-of-N wall times, the
+// naive-vs-optimised speedup per kernel, and deterministic work
+// counters (MACs, bytes, simulated cycles). tools/bench_compare.py
+// gates on the *speedups* and the deterministic counters — absolute
+// wall times vary across runners and are recorded for humans only.
+//
+// Usage: bench_regress [--quick] [--out PATH] [--threads N] [--iters N]
+// See docs/PERFORMANCE.md for the baseline-refresh procedure.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/gcn.hpp"
+#include "tagnn/accelerator.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/spmm.hpp"
+
+namespace tagnn {
+namespace {
+
+struct Entry {
+  std::string name;
+  bench::TimingStats naive;
+  bench::TimingStats opt;
+  double macs = 0;    // deterministic work measure
+  double bytes = 0;   // deterministic traffic measure
+  double cycles = 0;  // simulated cycles (0 when not applicable)
+
+  double speedup() const {
+    return opt.median_sec > 0 ? naive.median_sec / opt.median_sec : 0.0;
+  }
+};
+
+struct Options {
+  bool quick = false;
+  std::string out = "BENCH_regress.json";
+  std::size_t threads = 0;  // 0 = leave the global pool alone
+  int iters = 0;            // 0 = default per mode
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](const char* flag) {
+      TAGNN_CHECK_MSG(i + 1 < argc, flag << " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (a == "--quick") {
+      o.quick = true;
+    } else if (a == "--out") {
+      o.out = value("--out");
+    } else if (a == "--threads") {
+      o.threads = static_cast<std::size_t>(std::stoul(value("--threads")));
+    } else if (a == "--iters") {
+      o.iters = std::stoi(value("--iters"));
+    } else {
+      std::cerr << "unknown flag " << a << "\n"
+                << "usage: bench_regress [--quick] [--out PATH]"
+                << " [--threads N] [--iters N]\n";
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+void check_identical(const Matrix& a, const Matrix& b, const char* what) {
+  TAGNN_CHECK_MSG(a == b, what << ": optimised kernel output diverged"
+                               << " from the naive reference");
+}
+
+// Dense GEMM: the pre-PR i-k-j kernel vs the blocked/packed one.
+Entry bench_gemm(const Options& o, int iters) {
+  const std::size_t m = o.quick ? 192 : 384;
+  const std::size_t k = o.quick ? 128 : 256;
+  const std::size_t n = o.quick ? 128 : 256;
+  Rng rng(bench::rng_seed());
+  const Matrix a = Matrix::random(m, k, rng, 1.0f);
+  const Matrix b = Matrix::random(k, n, rng, 1.0f);
+  Matrix c_naive, c_opt;
+
+  Entry e;
+  e.name = "gemm_" + std::to_string(m) + "x" + std::to_string(k) + "x" +
+           std::to_string(n);
+  e.naive = bench::time_median([&] { gemm_naive(a, b, c_naive); }, iters);
+  e.opt = bench::time_median([&] { gemm_blocked(a, b, c_opt); }, iters);
+  check_identical(c_naive, c_opt, e.name.c_str());
+  e.macs = static_cast<double>(m) * static_cast<double>(k) *
+           static_cast<double>(n);
+  e.bytes = static_cast<double>((m * k + k * n + m * n) * sizeof(float));
+  return e;
+}
+
+// GCN layer: the pre-PR per-vertex path (aggregate_vertex + one gemv
+// per vertex, re-streaming W each time) vs the fused SpMM + blocked
+// GEMM staging the layer as two matrix kernels.
+Entry bench_gcn_layer(const Options& o, int iters) {
+  const DynamicGraph g =
+      datasets::load("GT", o.quick ? 0.2 : 0.5, /*snapshots=*/2);
+  const Snapshot& snap = g.snapshot(0);
+  const VertexId nv = g.num_vertices();
+  const std::size_t d_in = g.feature_dim();
+  const std::size_t d_out = o.quick ? 64 : 128;
+  Rng rng(bench::rng_seed());
+  const Matrix w = Matrix::random(d_in, d_out, rng, 1.0f);
+  const Matrix& h = snap.features;
+
+  Matrix out_naive(nv, d_out), out_opt(nv, d_out);
+  std::vector<float> agg(d_in);
+  Entry e;
+  e.name = "gcn_layer_n" + std::to_string(nv) + "_d" +
+           std::to_string(d_in) + "x" + std::to_string(d_out);
+  e.naive = bench::time_median(
+      [&] {
+        for (VertexId v = 0; v < nv; ++v) {
+          aggregate_vertex(snap, h, v, agg);
+          gemv(agg, w, out_naive.row(v));
+          relu(out_naive.row(v));
+        }
+      },
+      iters);
+  GcnScratch scratch;
+  e.opt = bench::time_median(
+      [&] {
+        spmm_mean_csr(snap.graph.offsets(), snap.graph.neighbor_array(),
+                      snap.present, h, /*rows=*/{}, scratch.agg);
+        gemm_blocked(scratch.agg, w, out_opt);
+        for (VertexId v = 0; v < nv; ++v) relu(out_opt.row(v));
+      },
+      iters);
+  check_identical(out_naive, out_opt, e.name.c_str());
+
+  std::size_t edges = 0;
+  for (VertexId v = 0; v < nv; ++v) edges += snap.graph.degree(v);
+  e.macs = static_cast<double>(nv) * static_cast<double>(d_in) *
+           static_cast<double>(d_out);
+  e.bytes = static_cast<double>(edges + nv) *
+            static_cast<double>(d_in) * sizeof(float);
+  return e;
+}
+
+// End-to-end: the snapshot-by-snapshot reference engine vs the
+// topology-aware concurrent engine (reuse + skip + window pipelining),
+// plus the accelerator cycle model for a deterministic gate value.
+Entry bench_engine(const Options& o, int iters) {
+  const bench::Workload wl = [&] {
+    bench::Workload w;
+    w.model = "T-GCN";
+    w.dataset = "GT";
+    w.g = datasets::load("GT", o.quick ? 0.15 : 0.3, o.quick ? 6u : 8u);
+    w.w = DgnnWeights::init(ModelConfig::preset("T-GCN"),
+                            w.g.feature_dim(), bench::rng_seed());
+    return w;
+  }();
+
+  EngineOptions ropts;
+  ropts.store_outputs = false;
+  ropts.count_redundancy = false;
+  EngineOptions copts = ropts;
+
+  Entry e;
+  e.name = "engine_tgcn_gt";
+  OpCounts counts;
+  e.naive = bench::time_median(
+      [&] {
+        const EngineResult r = ReferenceEngine(ropts).run(wl.g, wl.w);
+        counts = r.total_counts();
+      },
+      iters);
+  e.macs = counts.macs;
+  e.bytes = counts.feature_bytes + counts.weight_bytes +
+            counts.structure_bytes + counts.output_bytes;
+  e.opt = bench::time_median(
+      [&] { ConcurrentEngine(copts).run(wl.g, wl.w); }, iters);
+
+  TagnnConfig cfg;
+  const AccelResult ar = TagnnAccelerator(cfg).run(wl.g, wl.w,
+                                                   /*store_outputs=*/false);
+  e.cycles = static_cast<double>(ar.cycles.total);
+  return e;
+}
+
+void write_json(const Options& o, const std::vector<Entry>& entries) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"tagnn.bench_regress.v1\",\n"
+     << "  \"quick\": " << (o.quick ? "true" : "false") << ",\n"
+     << "  \"threads\": " << o.threads << ",\n  \"entries\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const Entry& e = entries[i];
+    os << (i == 0 ? "" : ",") << "\n    {\n"
+       << "      \"name\": \"" << json_escape(e.name) << "\",\n"
+       << "      \"naive_sec\": " << e.naive.median_sec << ",\n"
+       << "      \"opt_sec\": " << e.opt.median_sec << ",\n"
+       << "      \"speedup\": " << e.speedup() << ",\n"
+       << "      \"mad_frac\": "
+       << std::max(e.naive.mad_frac, e.opt.mad_frac) << ",\n"
+       << "      \"iters\": " << e.naive.iters << ",\n"
+       << "      \"macs\": " << e.macs << ",\n"
+       << "      \"bytes\": " << e.bytes << ",\n"
+       << "      \"cycles\": " << e.cycles << "\n    }";
+  }
+  os << "\n  ]\n}\n";
+  std::ofstream f(o.out);
+  TAGNN_CHECK_MSG(static_cast<bool>(f), "cannot open --out " << o.out);
+  f << os.str();
+}
+
+int run(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  const int iters = o.iters > 0 ? o.iters : (o.quick ? 5 : 9);
+  std::optional<ScopedGlobalThreadPool> pool;
+  if (o.threads > 0) pool.emplace(o.threads);
+
+  std::cout << "==== bench_regress ====\n"
+            << (o.quick ? "quick" : "full") << " mode, " << iters
+            << " iters/kernel, threads="
+            << (o.threads > 0 ? std::to_string(o.threads) : "default")
+            << "\n\n";
+
+  std::vector<Entry> entries;
+  entries.push_back(bench_gemm(o, iters));
+  entries.push_back(bench_gcn_layer(o, iters));
+  entries.push_back(bench_engine(o, std::max(1, iters / 2)));
+
+  Table tab({"kernel", "naive ms", "opt ms", "speedup", "mad %"});
+  for (const Entry& e : entries) {
+    tab.add_row({e.name, Table::num(1e3 * e.naive.median_sec, 3),
+                 Table::num(1e3 * e.opt.median_sec, 3),
+                 Table::num(e.speedup(), 2) + "x",
+                 Table::num(100.0 * std::max(e.naive.mad_frac,
+                                             e.opt.mad_frac), 1)});
+  }
+  tab.print(std::cout);
+
+  write_json(o, entries);
+  std::cout << "\nwrote " << o.out << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace tagnn
+
+int main(int argc, char** argv) { return tagnn::run(argc, argv); }

@@ -45,6 +45,11 @@ struct EngineOptions {
   bool store_outputs = true;
   /// Measure redundant-byte statistics (costs an extra analysis pass).
   bool count_redundancy = true;
+  /// Overlap the next window's overhead phase (classification, affected
+  /// subgraph, O-CSR build) with the current window's GNN/RNN compute on
+  /// a helper thread. Pure analysis of immutable snapshots, so outputs
+  /// stay byte-identical to the serial schedule.
+  bool pipeline_windows = true;
 };
 
 struct PhaseSeconds {

@@ -99,6 +99,7 @@ EngineResult run_evolve_gcn(const DynamicGraph& g,
   EngineResult res;
   std::vector<Matrix> w_cur = weights.gnn0;
   Matrix a, b;
+  GcnScratch scratch;
   std::vector<bool> resident;
   for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
     const Snapshot& snap = g.snapshot(t);
@@ -125,6 +126,7 @@ EngineResult run_evolve_gcn(const DynamicGraph& g,
     for (std::size_t l = 0; l < layers; ++l) {
       Matrix& out = (l % 2 == 0) ? a : b;
       GcnForwardOptions opts;
+      opts.scratch = &scratch;
       opts.relu_output = l + 1 < layers;
       if (l == 0 && reuse_features && t > 0) opts.resident = &resident;
       gcn_layer_forward(snap, *in, w_cur[l], opts, out, res.gnn_counts);

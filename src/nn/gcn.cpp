@@ -1,10 +1,9 @@
 #include "nn/gcn.hpp"
 
-#include <atomic>
-
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/spmm.hpp"
 
 namespace tagnn {
 
@@ -25,6 +24,12 @@ void aggregate_vertex(const Snapshot& snap, const Matrix& h_in, VertexId v,
   for (auto& x : out) x *= inv;
 }
 
+// Aggregation runs as one CSR SpMM over the computed rows, combination
+// as one blocked GEMM over the same rows — the staged layout lets the
+// GEMM reuse packed W panels across every vertex instead of streaming W
+// per vertex as the old per-vertex gemv did. Per-row floating-point
+// order is unchanged, so outputs stay value-identical to the per-vertex
+// path and independent of the thread count.
 void gcn_layer_forward(const Snapshot& snap, const Matrix& h_in,
                        const Matrix& w, const GcnForwardOptions& opts,
                        Matrix& h_out, OpCounts& counts) {
@@ -37,50 +42,62 @@ void gcn_layer_forward(const Snapshot& snap, const Matrix& h_in,
     h_out = Matrix(n, d_out);
   }
 
-  std::atomic<std::size_t> computed{0};
-  std::atomic<std::size_t> edges_touched{0};
-  std::atomic<std::size_t> rows_fetched{0};  // off-chip row gathers
-  parallel_for(0, n, [&](std::size_t v0, std::size_t v1) {
-    std::vector<float> agg(d_in);
-    std::size_t local_computed = 0;
-    std::size_t local_edges = 0;
-    std::size_t local_fetched = 0;
-    for (std::size_t vi = v0; vi < v1; ++vi) {
-      const auto v = static_cast<VertexId>(vi);
-      if (opts.compute != nullptr && !(*opts.compute)[v]) continue;
-      aggregate_vertex(snap, h_in, v, agg);
-      gemv(agg, w, h_out.row(v));
-      if (opts.relu_output) relu(h_out.row(v));
-      ++local_computed;
-      local_edges += snap.graph.degree(v);
-      if (opts.resident == nullptr) {
-        local_fetched += snap.graph.degree(v) + 1;
-      } else {
-        if (!(*opts.resident)[v]) ++local_fetched;
-        for (VertexId u : snap.graph.neighbors(v)) {
-          if (!(*opts.resident)[u]) ++local_fetched;
-        }
+  GcnScratch local;
+  GcnScratch& ws = opts.scratch != nullptr ? *opts.scratch : local;
+
+  // Computed-row list + off-chip traffic accounting in one pass.
+  ws.rows.clear();
+  ws.rows.reserve(n);
+  std::size_t edges_touched = 0;
+  std::size_t rows_fetched = 0;  // off-chip row gathers
+  for (VertexId v = 0; v < n; ++v) {
+    if (opts.compute != nullptr && !(*opts.compute)[v]) continue;
+    ws.rows.push_back(v);
+    const std::size_t deg = snap.graph.degree(v);
+    edges_touched += deg;
+    if (opts.resident == nullptr) {
+      rows_fetched += deg + 1;
+    } else {
+      if (!(*opts.resident)[v]) ++rows_fetched;
+      for (VertexId u : snap.graph.neighbors(v)) {
+        if (!(*opts.resident)[u]) ++rows_fetched;
       }
     }
-    computed += local_computed;
-    edges_touched += local_edges;
-    rows_fetched += local_fetched;
-  }, /*serial_threshold=*/256);
+  }
 
-  const auto nc = static_cast<double>(computed.load());
-  const auto ne = static_cast<double>(edges_touched.load());
+  if (!ws.rows.empty()) {
+    // An empty row span means "all rows" to the kernels, which then
+    // skip the indirection; a fully-masked-out layer never reaches them.
+    const bool full = ws.rows.size() == n;
+    const std::span<const VertexId> rows =
+        full ? std::span<const VertexId>{}
+             : std::span<const VertexId>(ws.rows);
+    if (ws.agg.rows() != n || ws.agg.cols() != d_in) {
+      ws.agg = Matrix(n, d_in);
+    }
+    spmm_mean_csr(snap.graph.offsets(), snap.graph.neighbor_array(),
+                  snap.present, h_in, rows, ws.agg);
+    gemm_blocked(ws.agg, w, h_out, rows);
+    if (opts.relu_output) {
+      parallel_for(0, ws.rows.size(), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) relu(h_out.row(ws.rows[i]));
+      }, /*serial_threshold=*/512);
+    }
+  }
+
+  const auto nc = static_cast<double>(ws.rows.size());
+  const auto ne = static_cast<double>(edges_touched);
   counts.adds += (ne + nc) * static_cast<double>(d_in);
   counts.macs += nc * static_cast<double>(d_in) * static_cast<double>(d_out);
   counts.activations +=
       opts.relu_output ? nc * static_cast<double>(d_out) : 0.0;
   counts.feature_bytes +=
-      static_cast<double>(rows_fetched.load()) * static_cast<double>(d_in) *
-      4.0;
+      static_cast<double>(rows_fetched) * static_cast<double>(d_in) * 4.0;
   counts.weight_bytes +=
       static_cast<double>(d_in) * static_cast<double>(d_out) * 4.0;
   counts.structure_bytes += ne * 4.0 + nc * 8.0;
   counts.output_bytes += nc * static_cast<double>(d_out) * 4.0;
-  counts.gnn_vertex_computed += computed.load();
+  counts.gnn_vertex_computed += ws.rows.size();
 }
 
 }  // namespace tagnn

@@ -19,6 +19,14 @@ namespace tagnn {
 void aggregate_vertex(const Snapshot& snap, const Matrix& h_in, VertexId v,
                       std::span<float> out);
 
+/// Caller-owned workspace reused across gcn_layer_forward calls so the
+/// aggregated-feature staging matrix and the computed-row list are not
+/// reallocated per layer/snapshot. Engines keep one per run.
+struct GcnScratch {
+  Matrix agg;                   // aggregated features, n x d_in
+  std::vector<VertexId> rows;   // vertices computed this call, ascending
+};
+
 struct GcnForwardOptions {
   /// Only vertices with (*compute)[v] == true are produced; other rows
   /// of h_out are left untouched. nullptr = all vertices.
@@ -28,6 +36,8 @@ struct GcnForwardOptions {
   const std::vector<bool>* resident = nullptr;
   /// Apply ReLU to the layer output (the last layer stays linear).
   bool relu_output = true;
+  /// Optional reusable workspace (nullptr = allocate per call).
+  GcnScratch* scratch = nullptr;
 };
 
 /// Full GCN layer: h_out(v) = act(mean_{u in {v}∪N(v)} h_in(u) * w).

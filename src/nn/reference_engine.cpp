@@ -20,6 +20,7 @@ EngineResult ReferenceEngine::run(const DynamicGraph& g,
   // Previous snapshot's per-layer inputs, for redundancy analysis.
   std::vector<Matrix> prev_inputs(layers);
   Matrix a, b;  // layer ping-pong buffers
+  GcnScratch scratch;
 
   for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
     const Snapshot& snap = g.snapshot(t);
@@ -30,6 +31,7 @@ EngineResult ReferenceEngine::run(const DynamicGraph& g,
     for (std::size_t l = 0; l < layers; ++l) {
       Matrix& out = (l % 2 == 0) ? a : b;
       GcnForwardOptions opts;
+      opts.scratch = &scratch;
       opts.relu_output = l + 1 < layers;  // last GNN layer stays linear
       gcn_layer_forward(snap, *in, weights.gnn[l], opts, out,
                         res.gnn_counts);

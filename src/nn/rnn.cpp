@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "tensor/ops.hpp"
 
 namespace tagnn {
 namespace {
@@ -68,22 +69,11 @@ void RnnCell::full_update(std::span<const float> x,
   TAGNN_CHECK(cache.size() == cache_dim());
   const std::size_t gh = gates_ * h_;
   std::vector<float> xpart(gh), hpart(gh);
-  // x-part: x * Wx + b.
+  // x-part: x * Wx + b (accumulating gemv on top of the bias row).
   for (std::size_t j = 0; j < gh; ++j) xpart[j] = w_.rnn_b(0, j);
-  for (std::size_t i = 0; i < dz_; ++i) {
-    const float xi = x[i];
-    if (xi == 0.0f) continue;
-    const float* row = w_.rnn_wx.data() + i * gh;
-    for (std::size_t j = 0; j < gh; ++j) xpart[j] += xi * row[j];
-  }
+  gemv_add(x, w_.rnn_wx, xpart);
   // h-part: h_prev * Wh.
-  for (std::size_t j = 0; j < gh; ++j) hpart[j] = 0.0f;
-  for (std::size_t i = 0; i < h_; ++i) {
-    const float hi = h_prev[i];
-    if (hi == 0.0f) continue;
-    const float* row = w_.rnn_wh.data() + i * gh;
-    for (std::size_t j = 0; j < gh; ++j) hpart[j] += hi * row[j];
-  }
+  gemv(h_prev, w_.rnn_wh, hpart);
 
   if (kind_ == RnnKind::kLstm) {
     for (std::size_t j = 0; j < gh; ++j) cache[j] = xpart[j] + hpart[j];

@@ -35,6 +35,10 @@ struct TagnnConfig {
   bool enable_oadl = true;         // overlap-aware data loading
   bool enable_adsc = true;         // adaptive data similarity computation
   bool balanced_dispatch = true;   // degree-balanced task dispatcher
+  /// Overlap window i+1's MSDL phase (classification, traversal, O-CSR
+  /// load) with window i's compute/memory body — the 2-stage window
+  /// pipeline of the dataflow. Off = the serial per-window schedule.
+  bool pipeline_windows = true;
   StorageFormat format = StorageFormat::kOcsr;
   SkipThresholds thresholds{};
 

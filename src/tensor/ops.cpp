@@ -7,6 +7,10 @@
 namespace tagnn {
 
 void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  gemm_blocked(a, b, c);
+}
+
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c) {
   TAGNN_CHECK_MSG(a.cols() == b.rows(),
                   "gemm shape mismatch: " << a.rows() << 'x' << a.cols()
                                           << " * " << b.rows() << 'x'
@@ -37,6 +41,13 @@ void gemv(std::span<const float> x, const Matrix& w, std::span<float> out) {
   TAGNN_CHECK(x.size() == w.rows() && out.size() == w.cols());
   const std::size_t n = w.cols();
   for (std::size_t j = 0; j < n; ++j) out[j] = 0.0f;
+  gemv_add(x, w, out);
+}
+
+void gemv_add(std::span<const float> x, const Matrix& w,
+              std::span<float> out) {
+  TAGNN_CHECK(x.size() == w.rows() && out.size() == w.cols());
+  const std::size_t n = w.cols();
   for (std::size_t i = 0; i < w.rows(); ++i) {
     const float xi = x[i];
     if (xi == 0.0f) continue;

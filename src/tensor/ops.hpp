@@ -1,19 +1,46 @@
 // Dense kernels used by the DGNN models: GEMM, GEMV, element-wise ops,
 // activations, and similarity measures. Kernels parallelise over rows
 // via the global thread pool (schedule(static) idiom).
+//
+// GEMM dispatches to a cache-blocked, B-panel-packing kernel (see
+// blocking.hpp and docs/PERFORMANCE.md). Every variant accumulates each
+// output element in strictly ascending k order, so for finite inputs
+// the blocked, naive, and gemv paths produce value-identical results at
+// any thread count.
 #pragma once
 
+#include <cstdint>
 #include <span>
 
+#include "tensor/blocking.hpp"
 #include "tensor/matrix.hpp"
 
 namespace tagnn {
 
 /// C = A * B. Shapes: (m x k) * (k x n) -> (m x n). C is overwritten.
+/// Dispatches to the blocked kernel.
 void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Pre-blocking i-k-j reference kernel, kept for the equivalence tests
+/// and as the bench_regress baseline.
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Cache-blocked GEMM with B-panel packing and an mr-row micro-kernel.
+/// When `rows` is non-empty only the listed rows of C are computed
+/// (zeroed then accumulated); all other rows of C are left untouched —
+/// the masked-combination path of the GCN layers. Row indices must be
+/// strictly ascending and in range.
+void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c,
+                  std::span<const std::uint32_t> rows = {},
+                  const GemmBlocking& blk = {});
 
 /// out[j] = sum_i x[i] * w(i, j); out must have w.cols() elements.
 void gemv(std::span<const float> x, const Matrix& w, std::span<float> out);
+
+/// out[j] += sum_i x[i] * w(i, j) — accumulating gemv, used by the RNN
+/// gate pre-activations (which start from the bias row).
+void gemv_add(std::span<const float> x, const Matrix& w,
+              std::span<float> out);
 
 /// y += x (same length).
 void axpy(std::span<const float> x, std::span<float> y, float alpha = 1.0f);

@@ -1,0 +1,95 @@
+#include "tensor/spmm.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+
+namespace tagnn {
+namespace {
+
+void check_shapes(std::span<const EdgeId> offsets, const Matrix& x,
+                  const std::vector<bool>& present,
+                  std::span<const VertexId> rows, const Matrix& out) {
+  TAGNN_CHECK(offsets.size() == x.rows() + 1);
+  TAGNN_CHECK(present.size() == x.rows());
+  TAGNN_CHECK(out.rows() == x.rows() && out.cols() == x.cols());
+  for (const VertexId r : rows) TAGNN_DCHECK(r < x.rows());
+}
+
+// Aggregates one row; shared by the blocked and naive kernels so their
+// floating-point behaviour cannot drift apart.
+inline void aggregate_row(std::span<const EdgeId> offsets,
+                          std::span<const VertexId> neighbors,
+                          const std::vector<bool>& present, const Matrix& x,
+                          VertexId v, float* o) {
+  const std::size_t d = x.cols();
+  if (!present[v]) {
+    std::fill(o, o + d, 0.0f);
+    return;
+  }
+  const float* self = x.data() + static_cast<std::size_t>(v) * d;
+  std::copy(self, self + d, o);
+  const EdgeId e0 = offsets[v];
+  const EdgeId e1 = offsets[v + 1];
+  EdgeId e = e0;
+  // Two neighbour rows per pass: the partial sum stays in registers for
+  // one extra add without changing the per-element accumulation order.
+  for (; e + 2 <= e1; e += 2) {
+    const float* ra =
+        x.data() + static_cast<std::size_t>(neighbors[e]) * d;
+    const float* rb =
+        x.data() + static_cast<std::size_t>(neighbors[e + 1]) * d;
+    for (std::size_t j = 0; j < d; ++j) o[j] = (o[j] + ra[j]) + rb[j];
+  }
+  if (e < e1) {
+    const float* ra =
+        x.data() + static_cast<std::size_t>(neighbors[e]) * d;
+    for (std::size_t j = 0; j < d; ++j) o[j] += ra[j];
+  }
+  const float inv = 1.0f / static_cast<float>(e1 - e0 + 1);
+  for (std::size_t j = 0; j < d; ++j) o[j] *= inv;
+}
+
+}  // namespace
+
+void spmm_mean_csr(std::span<const EdgeId> offsets,
+                   std::span<const VertexId> neighbors,
+                   const std::vector<bool>& present, const Matrix& x,
+                   std::span<const VertexId> rows, Matrix& out) {
+  const bool masked = !rows.empty();
+  if (!masked && (out.rows() != x.rows() || out.cols() != x.cols())) {
+    out = Matrix(x.rows(), x.cols());
+  }
+  check_shapes(offsets, x, present, rows, out);
+  const std::size_t d = x.cols();
+  const std::size_t num_rows = masked ? rows.size() : x.rows();
+  // Chunk granularity balances fork/join overhead against tail latency
+  // on skewed degree distributions; rows stay whole per thread.
+  parallel_for(0, num_rows, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const VertexId v = masked ? rows[i] : static_cast<VertexId>(i);
+      aggregate_row(offsets, neighbors, present, x, v,
+                    out.data() + static_cast<std::size_t>(v) * d);
+    }
+  }, /*serial_threshold=*/64);
+}
+
+void spmm_mean_naive(std::span<const EdgeId> offsets,
+                     std::span<const VertexId> neighbors,
+                     const std::vector<bool>& present, const Matrix& x,
+                     std::span<const VertexId> rows, Matrix& out) {
+  const bool masked = !rows.empty();
+  if (!masked && (out.rows() != x.rows() || out.cols() != x.cols())) {
+    out = Matrix(x.rows(), x.cols());
+  }
+  check_shapes(offsets, x, present, rows, out);
+  const std::size_t d = x.cols();
+  const std::size_t num_rows = masked ? rows.size() : x.rows();
+  for (std::size_t i = 0; i < num_rows; ++i) {
+    const VertexId v = masked ? rows[i] : static_cast<VertexId>(i);
+    aggregate_row(offsets, neighbors, present, x, v,
+                  out.data() + static_cast<std::size_t>(v) * d);
+  }
+}
+
+}  // namespace tagnn

@@ -246,5 +246,43 @@ TEST(EngineThreadsStress, ConcurrentEngineRunsConcurrentlyFromManyThreads) {
   }
 }
 
+TEST(EngineThreadsStress, PipelinedOverheadPrefetchIsRaceFreeAndExact) {
+  // The pipelined engine computes window i+1's overhead phase on a
+  // std::async helper while window i's GNN/RNN runs on the pool — under
+  // TSan this exercises the helper thread against the pool workers.
+  // Many short windows maximise the number of prefetch handoffs.
+  const Scenario s = make_scenario();
+  EngineOptions opts;
+  opts.window_size = 1;  // one handoff per snapshot
+  opts.store_outputs = false;
+
+  Matrix serial_hidden;
+  {
+    EngineOptions serial = opts;
+    serial.pipeline_windows = false;
+    ScopedGlobalThreadPool one(1);
+    serial_hidden = ConcurrentEngine(serial).run(s.g, s.w).final_hidden;
+  }
+
+  ScopedGlobalThreadPool scoped(4);
+  constexpr std::size_t kRunners = 3;
+  constexpr int kRounds = 5;
+  std::vector<Matrix> hidden(kRunners);
+  std::vector<std::thread> runners;
+  runners.reserve(kRunners);
+  for (std::size_t r = 0; r < kRunners; ++r) {
+    runners.emplace_back([&, r] {
+      for (int round = 0; round < kRounds; ++round) {
+        hidden[r] = ConcurrentEngine(opts).run(s.g, s.w).final_hidden;
+      }
+    });
+  }
+  for (auto& t : runners) t.join();
+  for (std::size_t r = 0; r < kRunners; ++r) {
+    EXPECT_EQ(max_abs_diff(hidden[r], serial_hidden), 0.0f)
+        << "runner " << r;
+  }
+}
+
 }  // namespace
 }  // namespace tagnn

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate a bench_regress run against a checked-in baseline.
+
+Usage: tools/bench_compare.py RESULT.json BASELINE.json [--tolerance F]
+                              [--cycles-tolerance F]
+
+Both files follow the `tagnn.bench_regress.v1` schema written by
+bench/bench_regress.cpp. The gate deliberately never compares absolute
+wall times (they depend on the host); it compares quantities that are
+stable across machines:
+
+  * speedup    — naive/optimised ratio per kernel. Regression when the
+                 measured speedup drops below baseline * (1 - tolerance)
+                 (default tolerance 0.15, i.e. a >15% relative drop).
+  * macs/bytes — deterministic workload fingerprints. Any mismatch
+                 means the benchmark's workload changed and the baseline
+                 must be refreshed (see docs/PERFORMANCE.md); reported
+                 as a failure so the change is made consciously.
+  * cycles     — simulated accelerator cycles (deterministic). A rise
+                 above baseline * (1 + cycles-tolerance) fails.
+
+Every entry in the baseline must be present in the result; extra result
+entries are reported but do not fail (so new benches can land before
+their baseline). Exit codes: 0 ok, 1 regression/mismatch, 2 usage or
+schema error.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "tagnn.bench_regress.v1"
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        sys.exit(f"bench_compare: cannot read {path}: {exc}")
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"bench_compare: {path}: schema {doc.get('schema')!r}, "
+                 f"expected {SCHEMA!r}")
+    entries = {}
+    for e in doc.get("entries", []):
+        for field in ("name", "speedup", "macs", "bytes", "cycles"):
+            if field not in e:
+                sys.exit(f"bench_compare: {path}: entry missing {field!r}")
+        entries[e["name"]] = e
+    if not entries:
+        sys.exit(f"bench_compare: {path}: no entries")
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("result")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed relative speedup drop (default 0.15)")
+    ap.add_argument("--cycles-tolerance", type=float, default=0.15,
+                    help="allowed relative cycle increase (default 0.15)")
+    args = ap.parse_args()
+
+    result = load(args.result)
+    baseline = load(args.baseline)
+
+    failures = []
+    rows = []
+    for name, base in sorted(baseline.items()):
+        cur = result.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline, missing in result")
+            rows.append((name, "MISSING", "", ""))
+            continue
+        status = "ok"
+        floor = base["speedup"] * (1.0 - args.tolerance)
+        if cur["speedup"] < floor:
+            status = "SPEEDUP"
+            failures.append(
+                f"{name}: speedup {cur['speedup']:.2f}x < floor "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x, "
+                f"tolerance {args.tolerance:.0%})")
+        for field in ("macs", "bytes"):
+            if cur[field] != base[field]:
+                status = "WORKLOAD"
+                failures.append(
+                    f"{name}: {field} changed {base[field]:g} -> "
+                    f"{cur[field]:g}; workload drifted, refresh the "
+                    f"baseline (docs/PERFORMANCE.md)")
+        ceil = base["cycles"] * (1.0 + args.cycles_tolerance)
+        if base["cycles"] > 0 and cur["cycles"] > ceil:
+            status = "CYCLES"
+            failures.append(
+                f"{name}: cycles {cur['cycles']:g} > ceiling {ceil:g} "
+                f"(baseline {base['cycles']:g})")
+        rows.append((name, status, f"{cur['speedup']:.2f}x",
+                     f"{base['speedup']:.2f}x"))
+
+    extra = sorted(set(result) - set(baseline))
+
+    width = max(len(r[0]) for r in rows) if rows else 10
+    print(f"{'kernel':<{width}}  {'status':<8}  {'speedup':>8}  "
+          f"{'baseline':>8}")
+    for name, status, cur_s, base_s in rows:
+        print(f"{name:<{width}}  {status:<8}  {cur_s:>8}  {base_s:>8}")
+    for name in extra:
+        print(f"{name:<{width}}  {'new':<8}  "
+              f"{result[name]['speedup']:>7.2f}x  {'-':>8}")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"bench_compare: FAIL {f}")
+        return 1
+    print(f"bench_compare: {len(rows)} entries within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Full correctness pipeline: builds and tests the default, asan-ubsan,
-# and tsan presets (all with -Werror), then runs clang-tidy via
-# tools/lint.sh. Any warning, test failure, sanitizer report, or lint
-# finding fails the script.
+# and tsan presets (all with -Werror), runs the bench-regression gate,
+# then clang-tidy via tools/lint.sh. Any warning, test failure,
+# sanitizer report, bench regression, or lint finding fails the script.
 #
 # Usage: tools/ci.sh [--fast]
-#   --fast   default preset only (skip the sanitizer builds and lint)
+#   --fast   default preset only (skip sanitizer builds, bench gate, lint)
+#
+# Every step runs through `step`, which records wall time and the exact
+# failing step; the EXIT trap prints a timing summary either way and the
+# script's exit code is always the first failing step's (set -e + the
+# trap re-raising $rc — nothing here swallows a status).
 #
 # Roughly 3x the build time of a plain build; use --fast for quick local
 # iteration and the full run before merging.
@@ -24,38 +29,95 @@ fi
 
 jobs="${TAGNN_CI_JOBS:-$(nproc)}"
 
-for preset in "${presets[@]}"; do
-  echo "=== [$preset] configure ==="
-  cmake --preset "$preset"
-  echo "=== [$preset] build ==="
-  cmake --build --preset "$preset" -j "$jobs"
-  echo "=== [$preset] test ==="
-  ctest --preset "$preset" -j "$jobs"
+step_names=()
+step_secs=()
+current_step="(startup)"
 
-  # Telemetry smoke: the simulator must emit valid metrics + Chrome
-  # trace JSON (see docs/OBSERVABILITY.md) under every preset.
-  echo "=== [$preset] telemetry smoke ==="
-  build_dir="build"
-  [ "$preset" != "default" ] && build_dir="build-$preset"
-  smoke_dir="$(mktemp -d)"
+step() {
+  current_step="$1"
+  shift
+  echo "=== $current_step ==="
+  local t0=$SECONDS rc=0
+  "$@" || rc=$?
+  step_names+=("$current_step")
+  step_secs+=($((SECONDS - t0)))
+  return "$rc"
+}
+
+on_exit() {
+  local rc=$?
+  if [ "${#step_names[@]}" -gt 0 ]; then
+    echo "--- ci.sh step timing ---"
+    local i
+    for i in "${!step_names[@]}"; do
+      printf '%6ds  %s\n' "${step_secs[$i]}" "${step_names[$i]}"
+    done
+  fi
+  if [ "$rc" -ne 0 ]; then
+    echo "ci.sh: FAILED in step '$current_step' (exit $rc)" >&2
+  fi
+  exit "$rc"
+}
+trap on_exit EXIT
+
+telemetry_smoke() {
+  # The simulator must emit valid metrics + Chrome trace JSON (see
+  # docs/OBSERVABILITY.md) under every preset. Artifacts land in
+  # $TAGNN_SMOKE_DIR when set (CI uploads them on failure), else a
+  # temp dir cleaned on success.
+  # NB: `step` invokes this in a `||` context, which makes bash ignore
+  # errexit inside the whole function body — every command must chain
+  # its status explicitly or a failure here would read as green.
+  local build_dir="$1"
+  local smoke_dir cleanup=1
+  if [ -n "${TAGNN_SMOKE_DIR:-}" ]; then
+    smoke_dir="$TAGNN_SMOKE_DIR"
+    mkdir -p "$smoke_dir" || return 1
+    cleanup=0
+  else
+    smoke_dir="$(mktemp -d)" || return 1
+  fi
   "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
     --metrics-out="$smoke_dir/metrics.json" \
-    --trace-out="$smoke_dir/trace.json" > /dev/null
+    --trace-out="$smoke_dir/trace.json" > /dev/null &&
   "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
-    --metrics-out="$smoke_dir/metrics.csv" --metrics-format=csv > /dev/null
+    --metrics-out="$smoke_dir/metrics.csv" --metrics-format=csv \
+    > /dev/null &&
   "$build_dir/tools/json_validate" \
-    "$smoke_dir/metrics.json" "$smoke_dir/trace.json"
-  grep -q '^name,kind,value' "$smoke_dir/metrics.csv"
+    "$smoke_dir/metrics.json" "$smoke_dir/trace.json" &&
+  grep -q '^name,kind,value' "$smoke_dir/metrics.csv" || return 1
   if command -v python3 > /dev/null 2>&1; then
-    python3 -m json.tool "$smoke_dir/metrics.json" > /dev/null
-    python3 -m json.tool "$smoke_dir/trace.json" > /dev/null
+    python3 -m json.tool "$smoke_dir/metrics.json" > /dev/null &&
+    python3 -m json.tool "$smoke_dir/trace.json" > /dev/null || return 1
   fi
-  rm -rf "$smoke_dir"
+  [ "$cleanup" -eq 1 ] && rm -rf "$smoke_dir"
+  return 0
+}
+
+bench_gate() {
+  # Bench-regression gate (docs/PERFORMANCE.md): quick bench run,
+  # JSON validity, then ratio/fingerprint comparison vs the checked-in
+  # baseline.
+  # Same errexit caveat as telemetry_smoke: chain statuses explicitly.
+  local build_dir="$1"
+  local out="$build_dir/BENCH_regress.json"
+  "$build_dir/bench/bench_regress" --quick --out "$out" &&
+  "$build_dir/tools/json_validate" "$out" &&
+  python3 tools/bench_compare.py "$out" bench/baselines/quick.json
+}
+
+for preset in "${presets[@]}"; do
+  build_dir="build"
+  [ "$preset" != "default" ] && build_dir="build-$preset"
+  step "[$preset] configure" cmake --preset "$preset"
+  step "[$preset] build" cmake --build --preset "$preset" -j "$jobs"
+  step "[$preset] test" ctest --preset "$preset" -j "$jobs"
+  step "[$preset] telemetry smoke" telemetry_smoke "$build_dir"
 done
 
 if [ "$fast" -eq 0 ]; then
-  echo "=== lint ==="
-  "$repo_root/tools/lint.sh" "$repo_root/build"
+  step "bench gate" bench_gate build
+  step "lint" "$repo_root/tools/lint.sh" "$repo_root/build"
 fi
 
 echo "ci.sh: all presets green"

@@ -28,6 +28,12 @@ if ! command -v "$tidy_bin" >/dev/null 2>&1; then
   fi
   echo "lint.sh: clang-tidy not found; skipping static analysis" \
        "(install clang-tidy or set CLANG_TIDY to enable)" >&2
+  if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+    # Surface the skip as an annotation in the Actions run summary so a
+    # silently-missing toolchain doesn't masquerade as a clean lint.
+    echo "::warning title=lint skipped::clang-tidy not found on this" \
+         "runner; static analysis was skipped"
+  fi
   exit 0
 fi
 
