@@ -17,6 +17,7 @@
 
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/analyze/ledger.hpp"
 #include "nn/gcn.hpp"
 #include "tagnn/accelerator.hpp"
 #include "tensor/ops.hpp"
@@ -41,6 +42,7 @@ struct Entry {
 struct Options {
   bool quick = false;
   std::string out = "BENCH_regress.json";
+  std::string ledger;       // "" = no ledger append
   std::size_t threads = 0;  // 0 = leave the global pool alone
   int iters = 0;            // 0 = default per mode
 };
@@ -57,6 +59,8 @@ Options parse(int argc, char** argv) {
       o.quick = true;
     } else if (a == "--out") {
       o.out = value("--out");
+    } else if (a == "--ledger") {
+      o.ledger = value("--ledger");
     } else if (a == "--threads") {
       o.threads = static_cast<std::size_t>(std::stoul(value("--threads")));
     } else if (a == "--iters") {
@@ -64,7 +68,7 @@ Options parse(int argc, char** argv) {
     } else {
       std::cerr << "unknown flag " << a << "\n"
                 << "usage: bench_regress [--quick] [--out PATH]"
-                << " [--threads N] [--iters N]\n";
+                << " [--ledger PATH] [--threads N] [--iters N]\n";
       std::exit(2);
     }
   }
@@ -241,6 +245,30 @@ int run(int argc, char** argv) {
 
   write_json(o, entries);
   std::cout << "\nwrote " << o.out << "\n";
+
+  if (!o.ledger.empty()) {
+    obs::analyze::RunRecord rec;
+    rec.workload =
+        o.quick ? "bench_regress.quick" : "bench_regress.full";
+    const char* sha = std::getenv("TAGNN_GIT_SHA");
+    rec.git_sha = sha != nullptr ? sha : "";
+    rec.env = "bench";
+    std::ostringstream canonical;
+    canonical << "bench_regress;quick=" << o.quick
+              << ";threads=" << o.threads;
+    for (const Entry& e : entries) {
+      canonical << ";" << e.name;
+      rec.set(e.name + ".naive_sec", e.naive.median_sec);
+      rec.set(e.name + ".opt_sec", e.opt.median_sec);
+      rec.set(e.name + ".speedup", e.speedup());
+      rec.set(e.name + ".macs", e.macs);
+      rec.set(e.name + ".bytes", e.bytes);
+      rec.set(e.name + ".cycles", e.cycles);
+    }
+    rec.config_fingerprint = obs::analyze::fingerprint(canonical.str());
+    obs::analyze::append_run_record(o.ledger, rec);
+    std::cout << "appended " << rec.workload << " to " << o.ledger << "\n";
+  }
   return 0;
 }
 

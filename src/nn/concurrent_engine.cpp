@@ -23,6 +23,7 @@
 #include "nn/engine_detail.hpp"
 #include "nn/gcn.hpp"
 #include "nn/similarity.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "tensor/ops.hpp"
 
@@ -314,6 +315,11 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
     carry->prev_snapshot =
         g.snapshot(static_cast<SnapshotId>(g.num_snapshots()) - 1);
   }
+  // Roofline numerator/denominator for post-hoc placement of the
+  // software engine (obs/analyze/roofline.hpp).
+  const OpCounts totals = res.total_counts();
+  obs::gauge_set("tagnn.engine.roofline.macs", totals.macs);
+  obs::gauge_set("tagnn.engine.roofline.bytes", totals.total_bytes());
   return res;
 }
 

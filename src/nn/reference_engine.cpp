@@ -3,6 +3,7 @@
 #include "nn/engine.hpp"
 #include "nn/engine_detail.hpp"
 #include "nn/gcn.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timer.hpp"
 #include "tensor/ops.hpp"
 
@@ -72,6 +73,9 @@ EngineResult ReferenceEngine::run(const DynamicGraph& g,
     ++res.snapshots_processed;
   }
   res.final_hidden = st.h;
+  const OpCounts totals = res.total_counts();
+  obs::gauge_set("tagnn.engine.roofline.macs", totals.macs);
+  obs::gauge_set("tagnn.engine.roofline.bytes", totals.total_bytes());
   return res;
 }
 

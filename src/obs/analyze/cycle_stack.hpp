@@ -1,0 +1,59 @@
+// Cycle-stack / bottleneck attribution (paper Fig. 13 spirit; math in
+// docs/DIAGNOSIS.md).
+//
+// The accelerator's dataflow units overlap, so per-unit busy cycles sum
+// to *more* than the end-to-end total. For a Fig. 13-style stacked bar
+// the busy cycles are rescaled onto the overlapped total
+// (largest-remainder rounding), which preserves each unit's share and
+// makes the components sum to the total exactly — an invariant the
+// tests and the report consumers rely on. The dominant unit is named
+// and mapped to a ranked list of fix hints.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tagnn::obs::analyze {
+
+struct CycleStackInput {
+  std::string label;           // e.g. "total", "window 7"
+  std::uint64_t total = 0;     // overlapped end-to-end cycles
+  /// Per-unit busy cycles, in display order. Names are free-form; the
+  /// hint table understands "msdl", "gnn", "rnn", "memory" and the
+  /// MSDL sub-stages "classify" / "traverse".
+  std::vector<std::pair<std::string, std::uint64_t>> units;
+};
+
+struct CycleStackComponent {
+  std::string name;
+  std::uint64_t busy = 0;        // raw (overlapping) busy cycles
+  std::uint64_t attributed = 0;  // rescaled share of the total
+  double share_pct = 0;          // attributed / total * 100
+};
+
+struct CycleStack {
+  std::string label;
+  std::uint64_t total = 0;
+  std::vector<CycleStackComponent> components;  // sum(attributed)==total
+  std::string dominant;       // component with the largest share
+  double dominant_pct = 0;    // its share of the total, percent
+  /// Fix hints, most relevant first ("HBM stall 61% of window 7 —
+  /// raise feature-buffer depth ...").
+  std::vector<std::string> hints;
+};
+
+/// Rescales the unit busy cycles onto the total and names the
+/// bottleneck. With total == 0 every component is zero and no hints are
+/// produced; with all-zero units the whole total is attributed to a
+/// synthetic "other" component.
+CycleStack build_cycle_stack(const CycleStackInput& in);
+
+/// Serialises one stack as a JSON object:
+///   {"label":..., "total":..., "components":{name:{...}},
+///    "dominant":..., "dominant_pct":..., "hints":[...]}
+void write_cycle_stack_json(std::ostream& os, const CycleStack& s,
+                            int indent = 0);
+
+}  // namespace tagnn::obs::analyze

@@ -1,0 +1,99 @@
+// Append-only cross-run ledger (schema tagnn.run.v1) + drift detection.
+//
+// One run = one JSONL line in runs.jsonl:
+//   {"schema":"tagnn.run.v1","workload":"bench_regress.quick",
+//    "git_sha":"...","config_fingerprint":"cfg-1a2b3c4d5e6f7a8b",
+//    "env":"...","timestamp":"...","metrics":{"name":1.25,...}}
+// Entries are flat name -> number maps (per-phase medians, cycle
+// totals, bench fingerprints) so the drift detector can treat every
+// metric uniformly. The drift rule is robust-statistics based: a run's
+// metric is flagged when it deviates from the per-workload history
+// median by more than k * max(MAD, rel_floor * |median|) — the MAD
+// floor keeps a perfectly stable history (MAD == 0) from flagging
+// harmless jitter. See docs/DIAGNOSIS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tagnn::obs::analyze {
+
+inline constexpr const char* kRunSchema = "tagnn.run.v1";
+
+struct RunRecord {
+  std::string workload;            // e.g. "bench_regress.quick"
+  std::string git_sha;             // "" -> "unknown"
+  std::string config_fingerprint;  // fingerprint() of the knobs used
+  std::string env;                 // free-form environment tag
+  std::string timestamp;           // ISO-8601, optional ("" allowed)
+  /// Flat metric map; insertion order is preserved in the output.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void set(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+  /// First metric with this name, or fallback.
+  double metric(std::string_view name, double fallback = 0) const;
+};
+
+/// FNV-1a over a canonical string; stable across runs and platforms.
+/// Used for config fingerprints ("cfg-" + 16 hex digits).
+std::string fingerprint(std::string_view canonical);
+
+/// One JSONL line (no trailing newline). Non-finite metric values are
+/// serialised as null via obs::write_json_number.
+std::string run_record_json(const RunRecord& rec);
+
+/// Appends `rec` as one line to `path`, creating the file if needed.
+/// Throws std::runtime_error when the file cannot be opened.
+void append_run_record(const std::string& path, const RunRecord& rec);
+
+/// Parses a ledger stream: one JSON object per line, blank lines
+/// skipped. Lines that fail to parse or carry a different schema are
+/// counted in `*skipped` (if non-null) and dropped — an append-only log
+/// must tolerate a torn last line.
+std::vector<RunRecord> parse_ledger(std::istream& is,
+                                    std::size_t* skipped = nullptr);
+/// Convenience: loads from a file; missing file -> empty history.
+std::vector<RunRecord> load_ledger(const std::string& path,
+                                   std::size_t* skipped = nullptr);
+
+struct DriftOptions {
+  /// Deviation threshold in robust sigmas: flag when
+  /// |x - median| > k * max(MAD, rel_floor * |median|, abs_floor).
+  double k = 3.0;
+  double rel_floor = 0.10;
+  double abs_floor = 1e-12;
+  /// Minimum number of *prior* same-workload entries carrying the
+  /// metric before judging it.
+  std::size_t min_history = 3;
+};
+
+struct DriftFinding {
+  std::string workload;
+  std::string metric;
+  double value = 0;      // the candidate's value
+  double median = 0;     // history median
+  double mad = 0;        // history median absolute deviation
+  double threshold = 0;  // allowed |value - median|
+  /// |value - median| / threshold; >= 1 by construction.
+  double severity = 0;
+};
+
+/// Judges the last entry of `ledger` against all earlier entries with
+/// the same workload. Returns one finding per drifting metric (empty =
+/// clean or not enough history).
+std::vector<DriftFinding> detect_drift(
+    const std::vector<RunRecord>& ledger, const DriftOptions& opts = {});
+
+/// Judges `candidate` against an explicit history (all entries used,
+/// regardless of workload field). The building block of detect_drift.
+std::vector<DriftFinding> detect_drift_against(
+    const RunRecord& candidate, const std::vector<RunRecord>& history,
+    const DriftOptions& opts = {});
+
+}  // namespace tagnn::obs::analyze

@@ -1,0 +1,46 @@
+// Self-contained HTML perf report (tools/tagnn_report front-end).
+//
+// Renders roofline placement (inline SVG), Fig. 13-style cycle stacks,
+// a cross-run ledger sparkline with drift findings, and a link to the
+// Chrome trace into one dependency-free HTML document. A machine-
+// readable copy of everything shown is embedded as a JSON block
+// (<script type="application/json" id="report-data">) that must pass
+// obs::json_valid — CI smoke-checks exactly that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/analyze/cycle_stack.hpp"
+#include "obs/analyze/ledger.hpp"
+#include "obs/analyze/roofline.hpp"
+
+namespace tagnn::obs::analyze {
+
+struct HtmlReportInputs {
+  std::string title = "TaGNN perf report";
+  /// Headline facts shown in the summary table (label, value).
+  std::vector<std::pair<std::string, std::string>> summary;
+  /// Roofline verdicts, first entry treated as the headline ("total").
+  std::vector<RooflineResult> rooflines;
+  /// Cycle stacks: aggregate first, then per window.
+  std::vector<CycleStack> stacks;
+  /// Ledger history (oldest first) and precomputed drift findings.
+  std::vector<RunRecord> ledger;
+  std::vector<DriftFinding> drift;
+  /// Metric charted in the ledger sparkline ("" = auto-pick).
+  std::string sparkline_metric;
+  /// Link target for the Chrome trace ("" = section omitted link).
+  std::string trace_path;
+};
+
+/// Renders the full document. Always emits the five sections
+/// (summary, roofline, cycle-stacks, ledger, report-data), each with a
+/// stable id, even when its inputs are empty — consumers grep for the
+/// ids.
+std::string render_html_report(const HtmlReportInputs& in);
+
+/// Escapes text for HTML body/attribute contexts.
+std::string html_escape(std::string_view s);
+
+}  // namespace tagnn::obs::analyze

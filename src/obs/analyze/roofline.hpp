@@ -1,0 +1,62 @@
+// Roofline placement (docs/DIAGNOSIS.md).
+//
+// Classifies a run (or one kernel / engine / window of it) as
+// memory-bound or compute-bound on the modelled machine: arithmetic
+// intensity I = MACs / DRAM bytes against the ridge point
+// R = peak MACs/cycle / peak bytes/cycle. Attainable throughput is
+// min(peak_compute, I * peak_memory); headroom is how far the achieved
+// MACs/cycle sits below that roof. All rates are per *model* cycle, so
+// the analysis is deterministic and host-independent.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+namespace tagnn::obs::analyze {
+
+struct RooflineInput {
+  std::string label;              // e.g. "total", "window[0,4)"
+  double macs = 0;                // functional multiply-accumulates
+  double dram_bytes = 0;          // off-chip traffic attributed to them
+  double total_cycles = 0;        // modelled cycles the work took
+  double peak_macs_per_cycle = 0; // MAC array size (cfg.total_macs())
+  double peak_bytes_per_cycle = 0;// sequential HBM bytes per cycle
+};
+
+struct RooflineResult {
+  std::string label;
+  /// MACs per DRAM byte. When dram_bytes == 0 the kernel never touches
+  /// memory: intensity is reported as 0 with `infinite_intensity` set
+  /// and the verdict is compute-bound.
+  double arithmetic_intensity = 0;
+  bool infinite_intensity = false;
+  /// Ridge point: intensity at which the two roofs intersect.
+  double ridge = 0;
+  /// min(peak compute, I * peak memory) — the roof over this kernel.
+  double attainable_macs_per_cycle = 0;
+  /// macs / total_cycles (0 when total_cycles == 0).
+  double achieved_macs_per_cycle = 0;
+  /// "memory-bound" or "compute-bound".
+  std::string verdict;
+  /// 100 * (1 - achieved / attainable), clamped to [0, 100]. How much
+  /// of the relevant roof is still unused.
+  double headroom_pct = 0;
+  /// Echo of the peaks, for the report/SVG.
+  double peak_macs_per_cycle = 0;
+  double peak_bytes_per_cycle = 0;
+
+  bool memory_bound() const { return verdict == "memory-bound"; }
+};
+
+/// Places one measurement on the roofline. Inputs with a non-positive
+/// peak are degenerate; the result then carries a "compute-bound"
+/// verdict with zero headroom so downstream consumers need no special
+/// cases.
+RooflineResult analyze_roofline(const RooflineInput& in);
+
+/// Serialises the result as one JSON object (non-finite values become
+/// null via obs::write_json_number).
+void write_roofline_json(std::ostream& os, const RooflineResult& r,
+                         int indent = 0);
+
+}  // namespace tagnn::obs::analyze

@@ -56,6 +56,14 @@ bool consume_telemetry_flag(const std::vector<std::string>& args,
     o.metrics_format = f;
     return true;
   }
+  if (a == "--report-out") {
+    o.report_out = need_value(args, i, a);
+    return true;
+  }
+  if (a == "--ledger") {
+    o.ledger = need_value(args, i, a);
+    return true;
+  }
   if (a == "--no-telemetry") {
     o.disable_telemetry = true;
     return true;
@@ -65,7 +73,8 @@ bool consume_telemetry_flag(const std::vector<std::string>& args,
 
 const char* telemetry_usage() {
   return "       [--metrics-out FILE] [--metrics-format json|csv]\n"
-         "       [--trace-out FILE] [--no-telemetry]\n";
+         "       [--trace-out FILE] [--no-telemetry]\n"
+         "       [--report-out FILE] [--ledger FILE]\n";
 }
 
 void write_metrics_file(const TelemetryCliOptions& o,

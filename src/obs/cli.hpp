@@ -5,6 +5,8 @@
 //   --trace-out FILE          write a Chrome trace_event JSON on exit
 //   --metrics-format json|csv snapshot encoding (default json)
 //   --no-telemetry            runtime telemetry off-switch
+//   --report-out FILE         write a tool-specific JSON report on exit
+//   --ledger FILE             append a tagnn.run.v1 record (JSONL)
 #pragma once
 
 #include <string>
@@ -19,10 +21,14 @@ struct TelemetryCliOptions {
   std::string metrics_out;
   std::string trace_out;
   std::string metrics_format = "json";
+  std::string report_out;
+  std::string ledger;
   bool disable_telemetry = false;
 
   bool wants_metrics() const { return !metrics_out.empty(); }
   bool wants_trace() const { return !trace_out.empty(); }
+  bool wants_report() const { return !report_out.empty(); }
+  bool wants_ledger() const { return !ledger.empty(); }
 };
 
 /// Splits each "--flag=value" token into "--flag", "value" so parsers

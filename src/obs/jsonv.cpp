@@ -1,6 +1,11 @@
 #include "obs/jsonv.hpp"
 
+#include <atomic>
 #include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
 #include <sstream>
 
 namespace tagnn::obs {
@@ -78,6 +83,9 @@ class Parser {
         return literal("false");
       case 'n':
         return literal("null");
+      case 'N':  // "NaN"
+      case 'I':  // "Infinity"
+        return fail("NaN/Infinity are not valid JSON (expected null)");
       default:
         return number();
     }
@@ -184,6 +192,9 @@ class Parser {
   bool number() {
     if (peek() == '-') ++pos_;
     if (eof()) return fail("truncated number");
+    if (peek() == 'I' || peek() == 'N') {  // "-Infinity", "-NaN"
+      return fail("NaN/Infinity are not valid JSON (expected null)");
+    }
     if (peek() == '0') {
       ++pos_;
     } else if (std::isdigit(static_cast<unsigned char>(peek()))) {
@@ -213,6 +224,39 @@ class Parser {
 
 bool json_valid(std::string_view text, std::string* error) {
   return Parser(text).run(error);
+}
+
+namespace {
+
+std::atomic<std::uint64_t>& nonfinite_counter() {
+  static std::atomic<std::uint64_t> c{0};
+  return c;
+}
+
+}  // namespace
+
+void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    nonfinite_counter().fetch_add(1, std::memory_order_relaxed);
+    os << "null";
+    return;
+  }
+  // Shortest decimal that round-trips: try 15 significant digits, fall
+  // back to 17 (always exact for IEEE binary64).
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  os << buf;
+}
+
+std::uint64_t json_nonfinite_warnings() {
+  return nonfinite_counter().load(std::memory_order_relaxed);
+}
+
+void reset_json_nonfinite_warnings() {
+  nonfinite_counter().store(0, std::memory_order_relaxed);
 }
 
 }  // namespace tagnn::obs

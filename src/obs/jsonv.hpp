@@ -5,6 +5,8 @@
 // pulling in a JSON library dependency.
 #pragma once
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <string_view>
 
@@ -13,6 +15,19 @@ namespace tagnn::obs {
 /// Returns true when `text` is exactly one valid JSON value (with
 /// optional surrounding whitespace). On failure, `error` (if non-null)
 /// receives a message with the byte offset of the first problem.
+/// Bare NaN / Infinity / -Infinity tokens are rejected explicitly (RFC
+/// 8259 has no such literals; emitters here serialise them as null).
 bool json_valid(std::string_view text, std::string* error = nullptr);
+
+/// Writes `v` as a JSON number token (shortest round-trip decimal).
+/// Non-finite values have no JSON representation: they are written as
+/// `null` and counted in json_nonfinite_warnings() so emitters can
+/// surface that data was dropped instead of producing invalid JSON.
+void write_json_number(std::ostream& os, double v);
+
+/// Process-wide count of non-finite values null-ed out by
+/// write_json_number since start (or the last reset).
+std::uint64_t json_nonfinite_warnings();
+void reset_json_nonfinite_warnings();
 
 }  // namespace tagnn::obs

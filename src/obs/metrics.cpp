@@ -5,8 +5,10 @@
 #include <cmath>
 #include <limits>
 #include <ostream>
+#include <sstream>
 
 #include "common/check.hpp"
+#include "obs/jsonv.hpp"
 
 namespace tagnn::obs {
 namespace {
@@ -166,12 +168,18 @@ std::string escape(std::string_view s) {
   return out;
 }
 
-// JSON has no Inf/NaN literals; clamp to null-safe numbers.
-void write_number(std::ostream& os, double v) {
+// JSON has no Inf/NaN literals; write_json_number serialises non-finite
+// values as null and bumps obs::json_nonfinite_warnings().
+void write_number(std::ostream& os, double v) { write_json_number(os, v); }
+
+// CSV cell for a double: empty when non-finite (still counted as a
+// dropped value), so downstream parsers never see "nan"/"inf" tokens.
+void write_csv_number(std::ostream& os, double v) {
   if (std::isfinite(v)) {
     os << v;
   } else {
-    os << 0;
+    std::ostringstream sink;
+    write_json_number(sink, v);  // counts the warning, emits "null"
   }
 }
 
@@ -197,11 +205,11 @@ void write_metric_json(std::ostream& os, const MetricValue& m,
       os << ", \"mean\": ";
       write_number(os, m.hist.mean());
       os << ", \"p50\": ";
-      write_number(os, m.hist.quantile(0.50));
+      write_number(os, m.hist.p50());
       os << ", \"p90\": ";
-      write_number(os, m.hist.quantile(0.90));
+      write_number(os, m.hist.p90());
       os << ", \"p99\": ";
-      write_number(os, m.hist.quantile(0.99));
+      write_number(os, m.hist.p99());
       break;
   }
   os << "}";
@@ -230,6 +238,7 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
 }
 
 void MetricsSnapshot::write_csv(std::ostream& os) const {
+  os << "# schema: tagnn.metrics_csv.v2\n";
   os << "name,kind,value,count,sum,min,max,p50,p90,p99\n";
   for (const MetricValue& m : metrics) {
     os << m.name << ',' << to_string(m.kind) << ',';
@@ -238,14 +247,22 @@ void MetricsSnapshot::write_csv(std::ostream& os) const {
         os << m.u64 << ",,,,,,,";
         break;
       case MetricKind::kGauge:
-        os << m.value << ",,,,,,,";
+        write_csv_number(os, m.value);
+        os << ",,,,,,,";
         break;
       case MetricKind::kHistogram:
-        os << ',' << m.hist.count << ',' << m.hist.sum << ','
-           << (m.hist.count ? m.hist.min : 0) << ','
-           << (m.hist.count ? m.hist.max : 0) << ','
-           << m.hist.quantile(0.5) << ',' << m.hist.quantile(0.9) << ','
-           << m.hist.quantile(0.99);
+        os << ',' << m.hist.count << ',';
+        write_csv_number(os, m.hist.sum);
+        os << ',';
+        write_csv_number(os, m.hist.count ? m.hist.min : 0);
+        os << ',';
+        write_csv_number(os, m.hist.count ? m.hist.max : 0);
+        os << ',';
+        write_csv_number(os, m.hist.p50());
+        os << ',';
+        write_csv_number(os, m.hist.p90());
+        os << ',';
+        write_csv_number(os, m.hist.p99());
         break;
     }
     os << '\n';

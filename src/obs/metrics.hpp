@@ -63,6 +63,11 @@ struct HistogramStats {
   /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
   /// the containing bucket; exact min/max at the extremes.
   double quantile(double q) const;
+  /// Named percentile accessors (the drift detector and the snapshot
+  /// serialisers read exactly these three).
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
 };
 
 struct MetricValue {
@@ -79,10 +84,13 @@ struct MetricsSnapshot {
   const MetricValue* find(std::string_view name) const;
 
   /// Full JSON document: {"schema": "tagnn.metrics.v1", "metrics": {...}}.
+  /// Non-finite values are serialised as null (and counted by
+  /// obs::json_nonfinite_warnings()), never as bare NaN/Inf tokens.
   void write_json(std::ostream& os) const;
   /// Just the {"name": {...}, ...} metrics object (for embedding).
   void write_metrics_object(std::ostream& os, int indent = 2) const;
-  /// name,kind,value,count,sum,min,max,p50,p90,p99 rows.
+  /// A "# schema: tagnn.metrics_csv.v2" comment line, then a
+  /// name,kind,value,count,sum,min,max,p50,p90,p99 header and rows.
   void write_csv(std::ostream& os) const;
 };
 

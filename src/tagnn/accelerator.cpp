@@ -484,6 +484,15 @@ AccelResult TagnnAccelerator::run(const DynamicGraph& g,
     obs::gauge_set("tagnn.accel.dcu_utilization", res.dcu_utilization);
     obs::gauge_set("tagnn.accel.windows",
                    static_cast<double>(res.windows));
+    // Roofline inputs (obs/analyze/roofline.hpp): everything a
+    // post-processor needs to re-place this run on the roofline.
+    obs::gauge_set("tagnn.accel.roofline.macs", all.macs);
+    obs::gauge_set("tagnn.accel.roofline.dram_bytes", res.dram_bytes);
+    obs::gauge_set("tagnn.accel.roofline.total_cycles", total_cycles);
+    obs::gauge_set("tagnn.accel.roofline.peak_macs_per_cycle",
+                   static_cast<double>(cfg_.total_macs()));
+    obs::gauge_set("tagnn.accel.roofline.peak_bytes_per_cycle",
+                   hbm.peak_bytes_per_cycle());
   }
   return res;
 }

@@ -4,7 +4,51 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/jsonv.hpp"
+#include "sim/memory.hpp"
+
 namespace tagnn {
+
+obs::analyze::RooflineResult diagnose_roofline(const TagnnConfig& cfg,
+                                               const AccelResult& r) {
+  obs::analyze::RooflineInput in;
+  in.label = "run";
+  in.macs = r.functional.total_counts().macs;
+  in.dram_bytes = r.dram_bytes;
+  in.total_cycles = static_cast<double>(r.cycles.total);
+  in.peak_macs_per_cycle = static_cast<double>(cfg.total_macs());
+  in.peak_bytes_per_cycle = HbmModel(cfg.hbm).peak_bytes_per_cycle();
+  return obs::analyze::analyze_roofline(in);
+}
+
+obs::analyze::CycleStack diagnose_cycle_stack(const AccelResult& r) {
+  obs::analyze::CycleStackInput in;
+  in.label = "run";
+  in.total = r.cycles.total;
+  in.units = {{"msdl", r.cycles.msdl},
+              {"gnn", r.cycles.gnn},
+              {"rnn", r.cycles.rnn},
+              {"memory", r.cycles.memory}};
+  return obs::analyze::build_cycle_stack(in);
+}
+
+std::vector<obs::analyze::CycleStack> diagnose_window_stacks(
+    const AccelResult& r) {
+  std::vector<obs::analyze::CycleStack> out;
+  out.reserve(r.telemetry.window_records.size());
+  for (const AccelWindowRecord& w : r.telemetry.window_records) {
+    obs::analyze::CycleStackInput in;
+    in.label = "window [" + std::to_string(w.window.start) + "," +
+               std::to_string(w.window.end()) + ")";
+    in.total = w.total;
+    in.units = {{"msdl", w.msdl},
+                {"gnn", w.gnn},
+                {"rnn", w.rnn},
+                {"memory", w.memory}};
+    out.push_back(obs::analyze::build_cycle_stack(in));
+  }
+  return out;
+}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -43,6 +87,7 @@ std::string json_escape(const std::string& s) {
 void write_json_report(std::ostream& os, const std::string& workload,
                        const TagnnConfig& cfg, const AccelResult& r) {
   const OpCounts c = r.functional.total_counts();
+  const auto num = [&os](double v) { obs::write_json_number(os, v); };
   os << "{\n"
      << "  \"workload\": \"" << json_escape(workload) << "\",\n"
      << "  \"config\": {\n"
@@ -63,22 +108,31 @@ void write_json_report(std::ostream& os, const std::string& workload,
      << "    \"rnn\": " << r.cycles.rnn << ",\n"
      << "    \"memory\": " << r.cycles.memory << "\n"
      << "  },\n"
-     << "  \"seconds\": " << r.seconds << ",\n"
-     << "  \"dram_bytes\": " << r.dram_bytes << ",\n"
-     << "  \"energy_j\": {\n"
-     << "    \"total\": " << r.energy.total() << ",\n"
-     << "    \"compute\": " << r.energy.compute_j << ",\n"
-     << "    \"sram\": " << r.energy.sram_j << ",\n"
-     << "    \"dram\": " << r.energy.dram_j << ",\n"
-     << "    \"static\": " << r.energy.static_j << "\n"
-     << "  },\n"
-     << "  \"dcu_utilization\": " << r.dcu_utilization << ",\n";
+     << "  \"seconds\": ";
+  num(r.seconds);
+  os << ",\n  \"dram_bytes\": ";
+  num(r.dram_bytes);
+  os << ",\n  \"energy_j\": {\n    \"total\": ";
+  num(r.energy.total());
+  os << ",\n    \"compute\": ";
+  num(r.energy.compute_j);
+  os << ",\n    \"sram\": ";
+  num(r.energy.sram_j);
+  os << ",\n    \"dram\": ";
+  num(r.energy.dram_j);
+  os << ",\n    \"static\": ";
+  num(r.energy.static_j);
+  os << "\n  },\n"
+     << "  \"dcu_utilization\": ";
+  num(r.dcu_utilization);
+  os << ",\n";
   // Utilization attribution (telemetry): per-unit busy/stall against
   // the overlapped total, occupancies, buffer sizing.
-  os << "  \"utilization\": {\n"
-     << "    \"mac_occupancy\": " << r.telemetry.mac_occupancy << ",\n"
-     << "    \"hbm_bw_occupancy\": " << r.telemetry.hbm_bw_occupancy
-     << ",\n"
+  os << "  \"utilization\": {\n    \"mac_occupancy\": ";
+  num(r.telemetry.mac_occupancy);
+  os << ",\n    \"hbm_bw_occupancy\": ";
+  num(r.telemetry.hbm_bw_occupancy);
+  os << ",\n"
      << "    \"hbm_transactions\": " << r.telemetry.hbm_transactions
      << ",\n"
      << "    \"feature_buffer_high_water_bytes\": "
@@ -108,15 +162,31 @@ void write_json_report(std::ostream& os, const std::string& workload,
   os << ",\n    \"traverse_stages\": ";
   stage_object(r.telemetry.traverse_stages);
   os << "\n  },\n"
-     << "  \"counts\": {\n"
-     << "    \"macs\": " << c.macs << ",\n"
-     << "    \"feature_bytes\": " << c.feature_bytes << ",\n"
-     << "    \"redundant_bytes\": " << c.redundant_bytes << ",\n"
-     << "    \"rnn_full\": " << c.rnn_full << ",\n"
+     << "  \"counts\": {\n    \"macs\": ";
+  num(c.macs);
+  os << ",\n    \"feature_bytes\": ";
+  num(c.feature_bytes);
+  os << ",\n    \"redundant_bytes\": ";
+  num(c.redundant_bytes);
+  os << ",\n    \"rnn_full\": " << c.rnn_full << ",\n"
      << "    \"rnn_delta\": " << c.rnn_delta << ",\n"
      << "    \"rnn_skip\": " << c.rnn_skip << ",\n"
      << "    \"gnn_vertex_reused\": " << c.gnn_vertex_reused << "\n"
-     << "  },\n"
+     << "  },\n";
+  // Diagnosis: roofline placement + cycle-stack bottleneck attribution
+  // (docs/DIAGNOSIS.md). Per-window stack components each sum to that
+  // window's total; the aggregate stack sums to cycles.total.
+  os << "  \"diagnosis\": {\n    \"roofline\": ";
+  obs::analyze::write_roofline_json(os, diagnose_roofline(cfg, r), 4);
+  os << ",\n    \"cycle_stack\": {\n      \"aggregate\": ";
+  obs::analyze::write_cycle_stack_json(os, diagnose_cycle_stack(r), 6);
+  os << ",\n      \"windows\": [";
+  const auto window_stacks = diagnose_window_stacks(r);
+  for (std::size_t i = 0; i < window_stacks.size(); ++i) {
+    os << (i ? ", " : "");
+    obs::analyze::write_cycle_stack_json(os, window_stacks[i], 8);
+  }
+  os << "]\n    }\n  },\n"
      << "  \"windows\": " << r.windows << "\n"
      << "}\n";
 }

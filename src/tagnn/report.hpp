@@ -8,13 +8,34 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
+#include "obs/analyze/cycle_stack.hpp"
+#include "obs/analyze/roofline.hpp"
 #include "tagnn/accelerator.hpp"
 
 namespace tagnn {
 
+/// Roofline placement of the whole run on the configured machine model:
+/// functional MACs vs DRAM traffic against cfg.total_macs() MACs/cycle
+/// and the sequential-peak HBM bytes/cycle.
+obs::analyze::RooflineResult diagnose_roofline(const TagnnConfig& cfg,
+                                               const AccelResult& result);
+
+/// Fig. 13-style cycle stack for the whole run: per-unit cycles rescaled
+/// onto the overlapped total (components sum to cycles.total exactly).
+obs::analyze::CycleStack diagnose_cycle_stack(const AccelResult& result);
+
+/// One stack per simulated window (from telemetry.window_records); each
+/// stack's components sum to that window's overlapped latency.
+std::vector<obs::analyze::CycleStack> diagnose_window_stacks(
+    const AccelResult& result);
+
 /// Writes one JSON object describing the run. `workload` names the
-/// dataset/model pair for the report consumer.
+/// dataset/model pair for the report consumer. Includes a "diagnosis"
+/// object (roofline verdict + cycle stacks) built from the helpers
+/// above; all doubles go through obs::write_json_number, so the output
+/// is valid JSON even when a value is non-finite.
 void write_json_report(std::ostream& os, const std::string& workload,
                        const TagnnConfig& cfg, const AccelResult& result);
 

@@ -79,13 +79,24 @@ telemetry_smoke() {
   fi
   "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
     --metrics-out="$smoke_dir/metrics.json" \
-    --trace-out="$smoke_dir/trace.json" > /dev/null &&
+    --trace-out="$smoke_dir/trace.json" \
+    --report-out="$smoke_dir/report.json" \
+    --ledger="$smoke_dir/runs.jsonl" > /dev/null &&
   "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
     --metrics-out="$smoke_dir/metrics.csv" --metrics-format=csv \
     > /dev/null &&
   "$build_dir/tools/json_validate" \
-    "$smoke_dir/metrics.json" "$smoke_dir/trace.json" &&
-  grep -q '^name,kind,value' "$smoke_dir/metrics.csv" || return 1
+    "$smoke_dir/metrics.json" "$smoke_dir/trace.json" \
+    "$smoke_dir/report.json" &&
+  grep -q '^# schema: tagnn.metrics_csv.v2' "$smoke_dir/metrics.csv" &&
+  grep -q '^name,kind,value' "$smoke_dir/metrics.csv" &&
+  grep -q '"diagnosis"' "$smoke_dir/report.json" &&
+  "$build_dir/tools/tagnn_report" render --out "$smoke_dir/report.html" \
+    --report "$smoke_dir/report.json" \
+    --metrics "$smoke_dir/metrics.json" \
+    --trace trace.json \
+    --ledger "$smoke_dir/runs.jsonl" > /dev/null &&
+  grep -q 'id="report-data"' "$smoke_dir/report.html" || return 1
   if command -v python3 > /dev/null 2>&1; then
     python3 -m json.tool "$smoke_dir/metrics.json" > /dev/null &&
     python3 -m json.tool "$smoke_dir/trace.json" > /dev/null || return 1
@@ -101,9 +112,47 @@ bench_gate() {
   # Same errexit caveat as telemetry_smoke: chain statuses explicitly.
   local build_dir="$1"
   local out="$build_dir/BENCH_regress.json"
-  "$build_dir/bench/bench_regress" --quick --out "$out" &&
+  local ledger="$build_dir/BENCH_runs.jsonl"
+  rm -f "$ledger"
+  "$build_dir/bench/bench_regress" --quick --out "$out" \
+    --ledger "$ledger" &&
   "$build_dir/tools/json_validate" "$out" &&
-  python3 tools/bench_compare.py "$out" bench/baselines/quick.json
+  python3 tools/bench_compare.py "$out" bench/baselines/quick.json || return 1
+  # Drift check vs a baseline-derived history (docs/DIAGNOSIS.md):
+  # non-fatal by design — wall times vary across hosts, so a finding is
+  # a prompt to look, not a gate. The detector itself is self-tested:
+  # an injected 2x slowdown must flag (that part IS fatal).
+  "$build_dir/tools/tagnn_report" ledger-append --ledger "$ledger" \
+    --bench bench/baselines/quick.json --env baseline > /dev/null &&
+  "$build_dir/tools/tagnn_report" ledger-append --ledger "$ledger" \
+    --bench "$out" --env ci > /dev/null || return 1
+  local drift_rc=0
+  "$build_dir/tools/tagnn_report" drift --ledger "$ledger" \
+    --min-history 1 || drift_rc=$?
+  [ "$drift_rc" -eq 1 ] && return 1
+  if [ "$drift_rc" -eq 3 ]; then
+    echo "bench gate: drift findings above (informational, not fatal)"
+  fi
+  python3 - "$out" "$ledger" "$build_dir" <<'EOF'
+import json, subprocess, sys
+out, ledger, build_dir = sys.argv[1], sys.argv[2], sys.argv[3]
+bench = json.load(open(out))
+slow = dict(bench)
+slow["entries"] = [dict(e, opt_sec=e["opt_sec"] * 2) for e in bench["entries"]]
+slow_path = out + ".slow.json"
+json.dump(slow, open(slow_path, "w"))
+test_ledger = ledger + ".selftest"
+open(test_ledger, "w").close()
+tool = build_dir + "/tools/tagnn_report"
+for src in (out, out, out, slow_path):
+    subprocess.run([tool, "ledger-append", "--ledger", test_ledger,
+                    "--bench", src], check=True, capture_output=True)
+rc = subprocess.run([tool, "drift", "--ledger", test_ledger,
+                     "--min-history", "1"], capture_output=True).returncode
+if rc != 3:
+    sys.exit(f"drift self-test: injected 2x slowdown not flagged (rc={rc})")
+print("drift self-test: injected 2x slowdown flagged as expected")
+EOF
 }
 
 for preset in "${presets[@]}"; do

@@ -16,9 +16,12 @@
 // loaded snapshot is validated up front and all dynamic structures
 // (PMA, O-CSR, deltas, incremental classifier) audit themselves after
 // every mutation for the whole run.
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -26,6 +29,7 @@
 #include "graph/datasets.hpp"
 #include "graph/trace_io.hpp"
 #include "nn/engine.hpp"
+#include "obs/analyze/ledger.hpp"
 #include "obs/cli.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -60,7 +64,7 @@ struct Options {
          "       [--format ocsr|csr|pma] [--no-oadl] [--no-adsc]\n"
          "       [--theta-s X] [--theta-e X]\n"
          "       [--engine accel|reference|concurrent] [--csv] [--seed N]\n"
-         "       [--self-check]\n"
+         "       [--self-check] [--json] [--report]\n"
       << obs::telemetry_usage();
   std::exit(2);
 }
@@ -114,7 +118,9 @@ Options parse(int argc, char** argv) {
       o.self_check = true;
     } else if (a == "--csv") {
       o.csv = true;
-    } else if (a == "--json") {
+    } else if (a == "--json" || a == "--report") {
+      // --report is the diagnosis-oriented alias: the JSON report
+      // includes the "diagnosis" object either way.
       o.json = true;
     } else if (a == "--help" || a == "-h") {
       usage(argv[0]);
@@ -124,6 +130,32 @@ Options parse(int argc, char** argv) {
     }
   }
   return o;
+}
+
+// Canonical knob string hashed into the run-ledger config fingerprint:
+// two runs share a fingerprint iff these knobs match.
+std::string config_canonical(const Options& o) {
+  std::ostringstream s;
+  s << "engine=" << o.engine << ";model=" << o.model
+    << ";dcus=" << o.cfg.num_dcus << ";cpes=" << o.cfg.cpes_per_dcu
+    << ";window=" << o.cfg.window << ";format=" << to_string(o.cfg.format)
+    << ";oadl=" << o.cfg.enable_oadl << ";adsc=" << o.cfg.enable_adsc
+    << ";theta_s=" << o.cfg.thresholds.theta_s
+    << ";theta_e=" << o.cfg.thresholds.theta_e
+    << ";clock_mhz=" << o.cfg.clock_mhz
+    << ";hbm_gbps=" << o.cfg.hbm.bandwidth_gbps;
+  return s.str();
+}
+
+obs::analyze::RunRecord make_run_record(const Options& o,
+                                        const std::string& workload) {
+  obs::analyze::RunRecord rec;
+  rec.workload = workload;
+  const char* sha = std::getenv("TAGNN_GIT_SHA");
+  rec.git_sha = sha != nullptr ? sha : "";
+  rec.config_fingerprint = obs::analyze::fingerprint(config_canonical(o));
+  rec.env = "tagnn_sim";
+  return rec;
 }
 
 int run_impl(const Options& o) {
@@ -169,6 +201,29 @@ int run_impl(const Options& o) {
                 << c.total_bytes() / 1e6 << " MB traffic, wall "
                 << r.seconds.total() << " s\n";
     }
+    if (o.tel.wants_report()) {
+      std::ofstream f(o.tel.report_out);
+      if (!f) {
+        throw std::runtime_error("cannot open report output file: " +
+                                 o.tel.report_out);
+      }
+      f << "{\n  \"schema\": \"tagnn.engine_report.v1\",\n"
+        << "  \"workload\": \"" << json_escape(g.name() + "/" + o.model)
+        << "\",\n  \"engine\": \"" << json_escape(o.engine)
+        << "\",\n  \"macs\": " << c.macs
+        << ",\n  \"bytes\": " << c.total_bytes()
+        << ",\n  \"redundant_bytes\": " << c.redundant_bytes
+        << ",\n  \"seconds\": " << r.seconds.total() << "\n}\n";
+    }
+    if (o.tel.wants_ledger()) {
+      obs::analyze::RunRecord rec =
+          make_run_record(o, o.engine + "." + g.name() + "/" + o.model);
+      rec.set("seconds", r.seconds.total());
+      rec.set("macs", c.macs);
+      rec.set("bytes", c.total_bytes());
+      rec.set("redundant_bytes", c.redundant_bytes);
+      obs::analyze::append_run_record(o.tel.ledger, rec);
+    }
     return 0;
   }
 
@@ -205,6 +260,29 @@ int run_impl(const Options& o) {
               << "  DCU util " << 100 * r.dcu_utilization << "% | RNN "
               << c.rnn_skip << " skip / " << c.rnn_delta << " delta / "
               << c.rnn_full << " full\n";
+  }
+  if (o.tel.wants_report()) {
+    std::ofstream f(o.tel.report_out);
+    if (!f) {
+      throw std::runtime_error("cannot open report output file: " +
+                               o.tel.report_out);
+    }
+    write_json_report(f, g.name() + "/" + o.model, o.cfg, r);
+  }
+  if (o.tel.wants_ledger()) {
+    obs::analyze::RunRecord rec =
+        make_run_record(o, "tagnn_sim." + g.name() + "/" + o.model);
+    rec.set("cycles.total", static_cast<double>(r.cycles.total));
+    rec.set("cycles.msdl", static_cast<double>(r.cycles.msdl));
+    rec.set("cycles.gnn", static_cast<double>(r.cycles.gnn));
+    rec.set("cycles.rnn", static_cast<double>(r.cycles.rnn));
+    rec.set("cycles.memory", static_cast<double>(r.cycles.memory));
+    rec.set("seconds", r.seconds);
+    rec.set("dram_bytes", r.dram_bytes);
+    rec.set("energy_j", r.energy.total());
+    rec.set("macs", c.macs);
+    rec.set("dcu_utilization", r.dcu_utilization);
+    obs::analyze::append_run_record(o.tel.ledger, rec);
   }
   return 0;
 }
