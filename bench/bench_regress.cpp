@@ -7,7 +7,10 @@
 // wall times vary across runners and are recorded for humans only.
 //
 // Usage: bench_regress [--quick] [--out PATH] [--threads N] [--iters N]
-// See docs/PERFORMANCE.md for the baseline-refresh procedure.
+//                      [--kernel-isa NAME]
+// See docs/PERFORMANCE.md for the baseline-refresh procedure. The JSON
+// reports which kernel-registry variant served each op ("kernels"), so
+// the gate can key its speedup floors by ISA.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -17,6 +20,7 @@
 
 #include "bench_common.hpp"
 #include "common/thread_pool.hpp"
+#include "tensor/kernel_registry.hpp"
 #include "obs/analyze/ledger.hpp"
 #include "nn/gcn.hpp"
 #include "tagnn/accelerator.hpp"
@@ -45,6 +49,7 @@ struct Options {
   std::string ledger;       // "" = no ledger append
   std::size_t threads = 0;  // 0 = leave the global pool alone
   int iters = 0;            // 0 = default per mode
+  std::string kernel_isa;   // "" = auto (best supported)
 };
 
 Options parse(int argc, char** argv) {
@@ -65,10 +70,13 @@ Options parse(int argc, char** argv) {
       o.threads = static_cast<std::size_t>(std::stoul(value("--threads")));
     } else if (a == "--iters") {
       o.iters = std::stoi(value("--iters"));
+    } else if (a == "--kernel-isa") {
+      o.kernel_isa = value("--kernel-isa");
     } else {
       std::cerr << "unknown flag " << a << "\n"
                 << "usage: bench_regress [--quick] [--out PATH]"
-                << " [--ledger PATH] [--threads N] [--iters N]\n";
+                << " [--ledger PATH] [--threads N] [--iters N]"
+                << " [--kernel-isa NAME]\n";
       std::exit(2);
     }
   }
@@ -94,7 +102,7 @@ Entry bench_gemm(const Options& o, int iters) {
   e.name = "gemm_" + std::to_string(m) + "x" + std::to_string(k) + "x" +
            std::to_string(n);
   e.naive = bench::time_median([&] { gemm_naive(a, b, c_naive); }, iters);
-  e.opt = bench::time_median([&] { gemm_blocked(a, b, c_opt); }, iters);
+  e.opt = bench::time_median([&] { ops::gemm(a, b, c_opt); }, iters);
   check_identical(c_naive, c_opt, e.name.c_str());
   e.macs = static_cast<double>(m) * static_cast<double>(k) *
            static_cast<double>(n);
@@ -125,7 +133,7 @@ Entry bench_gcn_layer(const Options& o, int iters) {
       [&] {
         for (VertexId v = 0; v < nv; ++v) {
           aggregate_vertex(snap, h, v, agg);
-          gemv(agg, w, out_naive.row(v));
+          ops::gemv(agg, w, out_naive.row(v));
           relu(out_naive.row(v));
         }
       },
@@ -135,7 +143,7 @@ Entry bench_gcn_layer(const Options& o, int iters) {
       [&] {
         spmm_mean_csr(snap.graph.offsets(), snap.graph.neighbor_array(),
                       snap.present, h, /*rows=*/{}, scratch.agg);
-        gemm_blocked(scratch.agg, w, out_opt);
+        ops::gemm(scratch.agg, w, out_opt);
         for (VertexId v = 0; v < nv; ++v) relu(out_opt.row(v));
       },
       iters);
@@ -154,6 +162,9 @@ Entry bench_gcn_layer(const Options& o, int iters) {
 // topology-aware concurrent engine (reuse + skip + window pipelining),
 // plus the accelerator cycle model for a deterministic gate value.
 Entry bench_engine(const Options& o, int iters) {
+  // One engine run is a few milliseconds, so the median needs more
+  // samples than the big kernels to sit still on a noisy machine.
+  iters = std::max(iters, 15);
   const bench::Workload wl = [&] {
     bench::Workload w;
     w.model = "T-GCN";
@@ -172,12 +183,25 @@ Entry bench_engine(const Options& o, int iters) {
   Entry e;
   e.name = "engine_tgcn_gt";
   OpCounts counts;
+  // The naive side is the scalar per-vertex reference engine — the same
+  // frozen-baseline definition as gemm_naive: no registry SIMD, no
+  // batching, no topology-aware reuse. The ISA cap is restored before
+  // the optimised run so --kernel-isa governs only that side. Counts
+  // are ISA-independent (kernels are bit-exact), so the fingerprint is
+  // unaffected by the pin.
+  const kernels::Isa prev_isa = kernels::registry().active_isa();
+  std::string isa_err;
+  TAGNN_CHECK_MSG(kernels::registry().force_isa("scalar", &isa_err),
+                  "pinning naive engine to scalar: " << isa_err);
   e.naive = bench::time_median(
       [&] {
         const EngineResult r = ReferenceEngine(ropts).run(wl.g, wl.w);
         counts = r.total_counts();
       },
       iters);
+  TAGNN_CHECK_MSG(
+      kernels::registry().force_isa(kernels::isa_name(prev_isa), &isa_err),
+      "restoring kernel ISA after naive engine run: " << isa_err);
   e.macs = counts.macs;
   e.bytes = counts.feature_bytes + counts.weight_bytes +
             counts.structure_bytes + counts.output_bytes;
@@ -195,7 +219,13 @@ void write_json(const Options& o, const std::vector<Entry>& entries) {
   std::ostringstream os;
   os << "{\n  \"schema\": \"tagnn.bench_regress.v1\",\n"
      << "  \"quick\": " << (o.quick ? "true" : "false") << ",\n"
-     << "  \"threads\": " << o.threads << ",\n  \"entries\": [";
+     << "  \"threads\": " << o.threads << ",\n  \"kernels\": {";
+  const auto variants = kernels::registry().active_variants();
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << '"' << variants[i].first << "\": \""
+       << variants[i].second << '"';
+  }
+  os << "},\n  \"entries\": [";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const Entry& e = entries[i];
     os << (i == 0 ? "" : ",") << "\n    {\n"
@@ -219,6 +249,11 @@ void write_json(const Options& o, const std::vector<Entry>& entries) {
 int run(int argc, char** argv) {
   const Options o = parse(argc, argv);
   const int iters = o.iters > 0 ? o.iters : (o.quick ? 5 : 9);
+  if (!o.kernel_isa.empty()) {
+    std::string error;
+    TAGNN_CHECK_MSG(kernels::registry().force_isa(o.kernel_isa, &error),
+                    "--kernel-isa: " << error);
+  }
   std::optional<ScopedGlobalThreadPool> pool;
   if (o.threads > 0) pool.emplace(o.threads);
 
@@ -226,7 +261,9 @@ int run(int argc, char** argv) {
             << (o.quick ? "quick" : "full") << " mode, " << iters
             << " iters/kernel, threads="
             << (o.threads > 0 ? std::to_string(o.threads) : "default")
-            << "\n\n";
+            << ", kernels: gemm=" << kernels::registry().active("gemm")
+            << " spmm=" << kernels::registry().active("spmm")
+            << " vec=" << kernels::registry().active("vec") << "\n\n";
 
   std::vector<Entry> entries;
   entries.push_back(bench_gemm(o, iters));
@@ -255,7 +292,8 @@ int run(int argc, char** argv) {
     rec.env = "bench";
     std::ostringstream canonical;
     canonical << "bench_regress;quick=" << o.quick
-              << ";threads=" << o.threads;
+              << ";threads=" << o.threads
+              << ";isa=" << kernels::registry().active("gemm");
     for (const Entry& e : entries) {
       canonical << ";" << e.name;
       rec.set(e.name + ".naive_sec", e.naive.median_sec);

@@ -11,7 +11,7 @@ namespace {
 
 int argmax_class(std::span<const float> h, const Matrix& readout,
                  std::vector<float>& logits) {
-  gemv(h, readout, logits);
+  ops::gemv(h, readout, logits);
   return static_cast<int>(std::distance(
       logits.begin(), std::max_element(logits.begin(), logits.end())));
 }

@@ -15,8 +15,11 @@
 // software analogue of the accelerator's MSDL prefetch. Every overhead
 // artefact is a pure function of the immutable snapshots, so the
 // pipelined schedule is byte-identical to the serial one.
+#include <cstdint>
 #include <future>
+#include <mutex>
 
+#include "common/thread_pool.hpp"
 #include "graph/affected_subgraph.hpp"
 #include "graph/ocsr.hpp"
 #include "nn/engine.hpp"
@@ -34,6 +37,11 @@ namespace {
 struct WindowOverhead {
   WindowClassification cls;
   std::vector<std::vector<bool>> unchanged;  // per layer (gnn_reuse only)
+  // The same per-layer sets as ascending row lists, so the compute
+  // phase iterates/copies exactly the rows it needs instead of
+  // re-scanning an n-wide mask per (layer, snapshot).
+  std::vector<std::vector<VertexId>> changed_rows;
+  std::vector<std::vector<VertexId>> unchanged_rows;
   AffectedSubgraph sub;
   OCsr ocsr;
   double seconds = 0;  // CPU seconds spent deriving the artefacts
@@ -49,6 +57,15 @@ WindowOverhead compute_overhead(const DynamicGraph& g, Window w,
   ov.cls = classify_window(g, w);
   if (gnn_reuse) {
     ov.unchanged = unchanged_per_layer(g, w, ov.cls, layers);
+    const VertexId n = g.num_vertices();
+    ov.changed_rows.resize(layers);
+    ov.unchanged_rows.resize(layers);
+    for (std::size_t l = 0; l < layers; ++l) {
+      for (VertexId v = 0; v < n; ++v) {
+        (ov.unchanged[l][v] ? ov.unchanged_rows : ov.changed_rows)[l]
+            .push_back(v);
+      }
+    }
   }
   ov.sub = extract_affected_subgraph(g, w, ov.cls);
   ov.ocsr = OCsr::build(g, w, ov.cls, ov.sub);
@@ -61,14 +78,20 @@ WindowOverhead compute_overhead(const DynamicGraph& g, Window w,
 // per snapshot; repeated gathers hit the on-chip buffer. A per-snapshot
 // charge of a row that is bitwise identical to the previous snapshot's
 // is the residual redundancy TaGNN-S still pays (Fig. 8(b)).
+//
+// `snap_stamp`/`epoch` replace the per-call seen-bitmap: a row counts
+// as gathered this call iff its stamp equals the caller's (fresh)
+// epoch, so the scratch is reused across every (layer, snapshot)
+// without clearing or reallocating.
 void charge_concurrent_traffic(const Snapshot& snap,
-                               const std::vector<bool>* compute,
+                               const std::vector<VertexId>* compute_rows,
                                const std::vector<bool>& stable_row,
                                const std::vector<bool>* eq_prev,
                                std::vector<bool>& window_seen,
-                               std::size_t d_in, OpCounts& counts) {
+                               std::vector<std::uint32_t>& snap_stamp,
+                               std::uint32_t epoch, std::size_t d_in,
+                               OpCounts& counts) {
   const VertexId n = snap.num_vertices();
-  std::vector<bool> snap_seen(n, false);
   double rows = 0, redundant = 0;
   auto touch = [&](VertexId u) {
     if (stable_row[u]) {
@@ -76,16 +99,20 @@ void charge_concurrent_traffic(const Snapshot& snap,
         window_seen[u] = true;
         rows += 1;
       }
-    } else if (!snap_seen[u]) {
-      snap_seen[u] = true;
+    } else if (snap_stamp[u] != epoch) {
+      snap_stamp[u] = epoch;
       rows += 1;
       if (eq_prev != nullptr && (*eq_prev)[u]) redundant += 1;
     }
   };
-  for (VertexId v = 0; v < n; ++v) {
-    if (compute != nullptr && !(*compute)[v]) continue;
+  auto gather = [&](VertexId v) {
     touch(v);
     for (VertexId u : snap.graph.neighbors(v)) touch(u);
+  };
+  if (compute_rows != nullptr) {
+    for (const VertexId v : *compute_rows) gather(v);
+  } else {
+    for (VertexId v = 0; v < n; ++v) gather(v);
   }
   counts.feature_bytes += rows * static_cast<double>(d_in) * 4.0;
   counts.redundant_bytes += redundant * static_cast<double>(d_in) * 4.0;
@@ -127,6 +154,20 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
 
   const auto total = static_cast<SnapshotId>(g.num_snapshots());
   GcnScratch scratch;
+  RnnBatchScratch rnn_ws;
+  // Scratch reused across windows so the steady-state loop allocates
+  // nothing per (layer, snapshot): layer activations, traffic stamps,
+  // and the RNN mode/partition buffers.
+  std::vector<Matrix> cur(opts_.window_size), nxt(opts_.window_size);
+  std::vector<bool> window_seen;
+  std::vector<std::uint32_t> snap_stamp(n, 0);
+  std::uint32_t snap_epoch = 0;
+  constexpr std::uint8_t kAbsent = 255;
+  std::vector<std::uint8_t> mode(n);
+  std::vector<VertexId> full_rows, delta_rows;
+  // Dense delta staging for the batched delta path — rows of listed
+  // vertices are fully rewritten on each use, so no re-zeroing.
+  Matrix delta_x(n, cell.input_dim()), delta_h(n, cell.hidden());
   std::future<WindowOverhead> prefetched;
   for (SnapshotId start = 0; start < total; start += opts_.window_size) {
     const Window w{start,
@@ -174,11 +215,8 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
     // ---- GNN phase over all K snapshots, layer by layer. ----
     obs::ScopedTimer t_gnn(&res.seconds.gnn, "concurrent.gnn", "engine",
                            "tagnn.engine.gnn_seconds");
-    std::vector<bool> all_resident(n, true);
-    std::vector<Matrix> cur(k), nxt(k);
     for (std::size_t l = 0; l < layers; ++l) {
-      std::vector<bool> window_seen(n, false);
-      std::vector<bool> compute_mask;
+      window_seen.assign(n, false);
       for (std::size_t tk = 0; tk < k; ++tk) {
         const SnapshotId t = w.start + static_cast<SnapshotId>(tk);
         const Snapshot& snap = g.snapshot(t);
@@ -186,29 +224,25 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
         GcnForwardOptions fwd;
         fwd.scratch = &scratch;
         fwd.relu_output = l + 1 < layers;
-        const std::vector<bool>* compute = nullptr;
+        // With reuse on, traffic is charged by the O-CSR streaming
+        // model below instead of per-gather inside the layer.
+        fwd.count_feature_traffic = !opts_.gnn_reuse;
+        const std::vector<VertexId>* compute_rows = nullptr;
         if (opts_.gnn_reuse && tk > 0) {
-          compute_mask.assign(n, false);
-          for (VertexId v = 0; v < n; ++v) {
-            compute_mask[v] = !unchanged[l][v];
-          }
-          compute = &compute_mask;
-          fwd.compute = compute;
-        }
-        if (opts_.gnn_reuse) {
-          // Traffic is charged by the O-CSR streaming model below.
-          fwd.resident = &all_resident;
+          compute_rows = &ov.changed_rows[l];
+          fwd.compute_rows = compute_rows;
         }
         gcn_layer_forward(snap, in, weights.gnn[l], fwd, nxt[tk],
                           res.gnn_counts);
         if (opts_.gnn_reuse && tk > 0) {
           // Copy window-unchanged rows from the first snapshot.
-          for (VertexId v = 0; v < n; ++v) {
-            if (unchanged[l][v]) {
-              copy(nxt[0].row(v), nxt[tk].row(v));
-              ++res.gnn_counts.gnn_vertex_reused;
+          const std::vector<VertexId>& keep = ov.unchanged_rows[l];
+          parallel_for(0, keep.size(), [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t i = r0; i < r1; ++i) {
+              copy(nxt[0].row(keep[i]), nxt[tk].row(keep[i]));
             }
-          }
+          }, /*serial_threshold=*/512);
+          res.gnn_counts.gnn_vertex_reused += keep.size();
         }
         if (opts_.gnn_reuse) {
           const std::vector<bool>& stable_row =
@@ -221,8 +255,9 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
             eq = detail::rows_equal_mask(in, prev_in);
             eq_ptr = &eq;
           }
-          charge_concurrent_traffic(snap, compute, stable_row, eq_ptr,
-                                    window_seen, in.cols(), res.gnn_counts);
+          charge_concurrent_traffic(snap, compute_rows, stable_row, eq_ptr,
+                                    window_seen, snap_stamp, ++snap_epoch,
+                                    in.cols(), res.gnn_counts);
         }
       }
       std::swap(cur, nxt);
@@ -245,16 +280,23 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
       TAGNN_CHECK_MSG(gt == 0 || prev_snap != nullptr,
                       "stream carry missing the previous snapshot");
 
+      // Pass 1 — decide each vertex's mode in parallel. The decision
+      // only reads the vertex's own rows (z_applied/h/z), none of which
+      // are written until the update passes below, so it is safe to
+      // separate from the updates.
       detail::parallel_vertices(
           n,
           [&](VertexId v, OpCounts& counts) {
-            if (!snap.present[v]) return;
-            CellMode mode = CellMode::kFull;
+            if (!snap.present[v]) {
+              mode[v] = kAbsent;
+              return;
+            }
+            CellMode m = CellMode::kFull;
             if (opts_.cell_skip && gt >= opts_.skip_warmup_snapshots &&
                 gt > 0) {
               if (tk > 0 && cls.is_unaffected(v)) {
                 // Identical inputs and stable neighbourhood: θ = 1.
-                mode = CellMode::kSkip;
+                m = CellMode::kSkip;
               } else {
                 // Feature similarity is measured against the last input
                 // actually folded into the cell (z_applied), not merely
@@ -267,36 +309,81 @@ EngineResult ConcurrentEngine::run(const DynamicGraph& g,
                     z_applied.row(v), z.row(v),
                     prev_snap->graph.neighbors(v), snap.graph.neighbors(v),
                     cls.clazz, &counts);
-                mode = decide_cell_mode(theta, opts_.thresholds);
+                m = decide_cell_mode(theta, opts_.thresholds);
               }
             }
-            switch (mode) {
-              case CellMode::kSkip:
-                ++counts.rnn_skip;
-                break;
-              case CellMode::kDelta: {
-                // Condense Unit: pack the non-zero input + recurrent
-                // deltas vs the last applied values, then push only
-                // those lanes through the gate weights.
-                const CondensedVector dx = condense_delta(
-                    z.row(v), z_applied.row(v), opts_.delta_eps);
-                const CondensedVector dh = condense_delta(
-                    st.h.row(v), h_applied.row(v), opts_.delta_eps);
-                cell.delta_update(dx, dh, st.h.row(v), st.c.row(v),
-                                  st.h.row(v), st.c.row(v), st.cache.row(v),
-                                  counts);
-                break;
-              }
-              case CellMode::kFull:
-                copy(st.h.row(v), h_applied.row(v));  // h folded by update
-                cell.full_update(z.row(v), st.h.row(v), st.c.row(v),
-                                 st.h.row(v), st.c.row(v), st.cache.row(v),
-                                 counts);
-                copy(z.row(v), z_applied.row(v));
-                break;
-            }
+            mode[v] = static_cast<std::uint8_t>(m);
           },
           res.rnn_counts);
+
+      // Pass 2 — partition into the delta and full row lists.
+      full_rows.clear();
+      delta_rows.clear();
+      std::size_t skips = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        if (mode[v] == kAbsent) continue;
+        switch (static_cast<CellMode>(mode[v])) {
+          case CellMode::kSkip:
+            ++skips;
+            break;
+          case CellMode::kDelta:
+            delta_rows.push_back(v);
+            break;
+          case CellMode::kFull:
+            full_rows.push_back(v);
+            break;
+        }
+      }
+      res.rnn_counts.rnn_skip += skips;
+
+      // Pass 3 — delta updates as one batch. Condense Unit: threshold
+      // the input + recurrent drift vs the last applied values into
+      // dense delta rows (exact zeros mark unchanged lanes), then push
+      // the whole batch through the gate weights as two masked GEMMs.
+      // The skip classifier leaves the deltas mostly dense, so the
+      // packed GEMM beats per-lane axpy streaming.
+      if (!delta_rows.empty()) {
+        std::mutex mu;
+        double total_nnz = 0;
+        parallel_for(0, delta_rows.size(),
+                     [&](std::size_t i0, std::size_t i1) {
+          std::size_t nnz = 0;
+          for (std::size_t i = i0; i < i1; ++i) {
+            const VertexId v = delta_rows[i];
+            nnz += dense_delta(z.row(v), z_applied.row(v), opts_.delta_eps,
+                               delta_x.row(v));
+            nnz += dense_delta(st.h.row(v), h_applied.row(v),
+                               opts_.delta_eps, delta_h.row(v));
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          total_nnz += static_cast<double>(nnz);
+        }, /*serial_threshold=*/256);
+        cell.delta_update_rows(delta_x, delta_h, delta_rows, total_nnz,
+                               st.h, st.c, st.cache, rnn_ws,
+                               res.rnn_counts);
+      }
+
+      // Pass 4 — full updates as one batch: fold the pre-update h into
+      // h_applied, run both gate GEMMs over all full rows at once, then
+      // mark the inputs applied.
+      if (!full_rows.empty()) {
+        parallel_for(0, full_rows.size(), [&](std::size_t i0,
+                                              std::size_t i1) {
+          for (std::size_t i = i0; i < i1; ++i) {
+            const VertexId v = full_rows[i];
+            copy(st.h.row(v), h_applied.row(v));  // h folded by update
+          }
+        }, /*serial_threshold=*/512);
+        cell.full_update_rows(z, full_rows, st.h, st.c, st.cache, rnn_ws,
+                              res.rnn_counts);
+        parallel_for(0, full_rows.size(), [&](std::size_t i0,
+                                              std::size_t i1) {
+          for (std::size_t i = i0; i < i1; ++i) {
+            const VertexId v = full_rows[i];
+            copy(z.row(v), z_applied.row(v));
+          }
+        }, /*serial_threshold=*/512);
+      }
 
       if (opts_.store_outputs) res.outputs.push_back(st.h);
       ++res.snapshots_processed;

@@ -20,18 +20,41 @@ CondensedVector condense(std::span<const float> x, float threshold) {
 
 CondensedVector condense_delta(std::span<const float> cur,
                                std::span<float> applied, float threshold) {
-  TAGNN_CHECK(cur.size() == applied.size());
   CondensedVector c;
-  c.dim = cur.size();
+  condense_delta(cur, applied, threshold, c);
+  return c;
+}
+
+void condense_delta(std::span<const float> cur, std::span<float> applied,
+                    float threshold, CondensedVector& out) {
+  TAGNN_CHECK(cur.size() == applied.size());
+  out.values.clear();
+  out.addresses.clear();
+  out.dim = cur.size();
   for (std::size_t i = 0; i < cur.size(); ++i) {
     const float d = cur[i] - applied[i];
     if (d > threshold || d < -threshold) {
-      c.values.push_back(d);
-      c.addresses.push_back(static_cast<std::uint32_t>(i));
+      out.values.push_back(d);
+      out.addresses.push_back(static_cast<std::uint32_t>(i));
       applied[i] = cur[i];
     }
   }
-  return c;
+}
+
+std::size_t dense_delta(std::span<const float> cur, std::span<float> applied,
+                        float threshold, std::span<float> out) {
+  TAGNN_CHECK(cur.size() == applied.size() && cur.size() == out.size());
+  // Branchless: the keep decision is data-dependent noise to the branch
+  // predictor at typical delta densities, so blends beat branches here.
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < cur.size(); ++i) {
+    const float d = cur[i] - applied[i];
+    const bool keep = d > threshold || d < -threshold;
+    out[i] = keep ? d : 0.0f;
+    applied[i] = keep ? cur[i] : applied[i];
+    nnz += keep;
+  }
+  return nnz;
 }
 
 std::vector<float> expand(const CondensedVector& c) {

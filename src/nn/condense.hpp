@@ -38,6 +38,18 @@ CondensedVector condense(std::span<const float> x, float threshold = 0.0f);
 CondensedVector condense_delta(std::span<const float> cur,
                                std::span<float> applied, float threshold);
 
+/// Scratch-reusing variant: clears `out` (keeping its capacity) and
+/// fills it in place, so hot loops condense without reallocating.
+void condense_delta(std::span<const float> cur, std::span<float> applied,
+                    float threshold, CondensedVector& out);
+
+/// Dense sibling of condense_delta for the batched delta path: writes
+/// the thresholded delta into `out` (below-threshold lanes become
+/// exact zeros), folds each kept component into `applied`, and returns
+/// the kept-lane count. Same keep condition as condense_delta.
+std::size_t dense_delta(std::span<const float> cur, std::span<float> applied,
+                        float threshold, std::span<float> out);
+
 /// Scatters the packed values back into a dense vector of length dim
 /// (unpacked lanes are zero).
 std::vector<float> expand(const CondensedVector& c);

@@ -56,8 +56,8 @@ Matrix evolve_weights(const Matrix& w, const EvolveGcnWeights::LayerGru& g,
   Matrix t1, t2, rw(w.rows(), w.cols());
   auto affine2 = [&](const Matrix& u, const Matrix& v, const Matrix& x,
                      const Matrix& h, Matrix& out) {
-    gemm(u, x, t1);
-    gemm(v, h, t2);
+    ops::gemm(u, x, t1);
+    ops::gemm(v, h, t2);
     out = Matrix(t1.rows(), t1.cols());
     for (std::size_t i = 0; i < out.size(); ++i) {
       out.data()[i] = t1.data()[i] + t2.data()[i];
@@ -128,7 +128,21 @@ EngineResult run_evolve_gcn(const DynamicGraph& g,
       GcnForwardOptions opts;
       opts.scratch = &scratch;
       opts.relu_output = l + 1 < layers;
-      if (l == 0 && reuse_features && t > 0) opts.resident = &resident;
+      if (l == 0 && reuse_features && t > 0) {
+        // Gathers of rows identical to the previous snapshot are free;
+        // the layer's own charging is all-or-nothing, so charge the
+        // non-resident gathers here instead.
+        opts.count_feature_traffic = false;
+        double fetched = 0;
+        for (VertexId v = 0; v < n; ++v) {
+          if (!resident[v]) fetched += 1;
+          for (VertexId u : snap.graph.neighbors(v)) {
+            if (!resident[u]) fetched += 1;
+          }
+        }
+        res.gnn_counts.feature_bytes +=
+            fetched * static_cast<double>(in->cols()) * 4.0;
+      }
       gcn_layer_forward(snap, *in, w_cur[l], opts, out, res.gnn_counts);
       in = &out;
     }

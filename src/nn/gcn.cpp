@@ -45,47 +45,49 @@ void gcn_layer_forward(const Snapshot& snap, const Matrix& h_in,
   GcnScratch local;
   GcnScratch& ws = opts.scratch != nullptr ? *opts.scratch : local;
 
-  // Computed-row list + off-chip traffic accounting in one pass.
-  ws.rows.clear();
-  ws.rows.reserve(n);
+  // Computed-row list: a caller-provided list wins; otherwise one pass
+  // over the compute mask builds it into the scratch.
+  std::span<const VertexId> row_list;
+  if (opts.compute_rows != nullptr) {
+    row_list = *opts.compute_rows;
+  } else {
+    ws.rows.clear();
+    ws.rows.reserve(n);
+    for (VertexId v = 0; v < n; ++v) {
+      if (opts.compute != nullptr && !(*opts.compute)[v]) continue;
+      ws.rows.push_back(v);
+    }
+    row_list = ws.rows;
+  }
   std::size_t edges_touched = 0;
   std::size_t rows_fetched = 0;  // off-chip row gathers
-  for (VertexId v = 0; v < n; ++v) {
-    if (opts.compute != nullptr && !(*opts.compute)[v]) continue;
-    ws.rows.push_back(v);
+  for (const VertexId v : row_list) {
+    TAGNN_DCHECK(v < n);
     const std::size_t deg = snap.graph.degree(v);
     edges_touched += deg;
-    if (opts.resident == nullptr) {
-      rows_fetched += deg + 1;
-    } else {
-      if (!(*opts.resident)[v]) ++rows_fetched;
-      for (VertexId u : snap.graph.neighbors(v)) {
-        if (!(*opts.resident)[u]) ++rows_fetched;
-      }
-    }
+    if (opts.count_feature_traffic) rows_fetched += deg + 1;
   }
 
-  if (!ws.rows.empty()) {
+  if (!row_list.empty()) {
     // An empty row span means "all rows" to the kernels, which then
     // skip the indirection; a fully-masked-out layer never reaches them.
-    const bool full = ws.rows.size() == n;
+    const bool full = row_list.size() == n;
     const std::span<const VertexId> rows =
-        full ? std::span<const VertexId>{}
-             : std::span<const VertexId>(ws.rows);
+        full ? std::span<const VertexId>{} : row_list;
     if (ws.agg.rows() != n || ws.agg.cols() != d_in) {
       ws.agg = Matrix(n, d_in);
     }
     spmm_mean_csr(snap.graph.offsets(), snap.graph.neighbor_array(),
                   snap.present, h_in, rows, ws.agg);
-    gemm_blocked(ws.agg, w, h_out, rows);
+    ops::gemm(ws.agg, w, h_out, {.rows = rows});
     if (opts.relu_output) {
-      parallel_for(0, ws.rows.size(), [&](std::size_t r0, std::size_t r1) {
-        for (std::size_t i = r0; i < r1; ++i) relu(h_out.row(ws.rows[i]));
+      parallel_for(0, row_list.size(), [&](std::size_t r0, std::size_t r1) {
+        for (std::size_t i = r0; i < r1; ++i) relu(h_out.row(row_list[i]));
       }, /*serial_threshold=*/512);
     }
   }
 
-  const auto nc = static_cast<double>(ws.rows.size());
+  const auto nc = static_cast<double>(row_list.size());
   const auto ne = static_cast<double>(edges_touched);
   counts.adds += (ne + nc) * static_cast<double>(d_in);
   counts.macs += nc * static_cast<double>(d_in) * static_cast<double>(d_out);
@@ -97,7 +99,7 @@ void gcn_layer_forward(const Snapshot& snap, const Matrix& h_in,
       static_cast<double>(d_in) * static_cast<double>(d_out) * 4.0;
   counts.structure_bytes += ne * 4.0 + nc * 8.0;
   counts.output_bytes += nc * static_cast<double>(d_out) * 4.0;
-  counts.gnn_vertex_computed += ws.rows.size();
+  counts.gnn_vertex_computed += row_list.size();
 }
 
 }  // namespace tagnn

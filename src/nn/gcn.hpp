@@ -1,8 +1,8 @@
 // GCN layer forward pass (aggregation + combination), with optional
-// per-vertex compute masks so multi-snapshot engines can reuse
-// unchanged outputs across snapshots, and a residency mask so loads of
-// rows already staged on chip (O-CSR single-copy features) are not
-// charged to off-chip traffic again.
+// per-vertex compute masks or precomputed row lists so multi-snapshot
+// engines can reuse unchanged outputs across snapshots, and a traffic
+// switch so gathers of rows already staged on chip (O-CSR single-copy
+// features) are not charged to off-chip traffic again.
 #pragma once
 
 #include <vector>
@@ -31,9 +31,16 @@ struct GcnForwardOptions {
   /// Only vertices with (*compute)[v] == true are produced; other rows
   /// of h_out are left untouched. nullptr = all vertices.
   const std::vector<bool>* compute = nullptr;
-  /// Rows already resident on chip: gathers of these rows cost no
-  /// off-chip feature traffic. nullptr = nothing resident.
-  const std::vector<bool>* resident = nullptr;
+  /// Precomputed ascending list of vertices to produce; wins over
+  /// `compute` when non-null (an empty list computes nothing). Lets
+  /// engines that already know the changed rows skip the O(n) mask
+  /// scan per layer.
+  const std::vector<VertexId>* compute_rows = nullptr;
+  /// Charge off-chip feature-row gathers to `feature_bytes`. Engines
+  /// whose window features are fully resident on chip (O-CSR
+  /// single-copy staging) turn this off instead of passing an
+  /// all-true residency mask.
+  bool count_feature_traffic = true;
   /// Apply ReLU to the layer output (the last layer stays linear).
   bool relu_output = true;
   /// Optional reusable workspace (nullptr = allocate per call).

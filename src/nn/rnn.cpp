@@ -4,14 +4,11 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/kernel_registry.hpp"
 #include "tensor/ops.hpp"
 
 namespace tagnn {
-namespace {
-
-float sigmoid1(float x) { return 1.0f / (1.0f + std::exp(-x)); }
-
-}  // namespace
 
 RnnCell::RnnCell(const DgnnWeights& weights)
     : w_(weights),
@@ -36,26 +33,44 @@ void RnnCell::derive_outputs(std::span<const float> h_prev,
                              std::span<const float> cache,
                              std::span<float> h_out,
                              std::span<float> c_out) const {
+  // Gate activations run segment-wise through the batched vec kernels
+  // (a per-lane libm call here would dominate the whole engine). The
+  // thread-local staging buffer makes the per-row hot paths
+  // allocation-free after the first call.
+  const kernels::VecKernels vk = kernels::registry().vec();
+  thread_local std::vector<float> buf;
   if (kind_ == RnnKind::kLstm) {
     // cache = [i | f | g | o] pre-activations (x-part + h-part + bias).
+    buf.resize(5 * h_);
+    float* ia = buf.data();
+    float* fa = ia + h_;
+    float* ga = fa + h_;
+    float* oa = ga + h_;
+    float* tc = oa + h_;
+    vk.sigmoid_n(cache.data(), 2 * h_, ia);  // i and f are contiguous
+    vk.tanh_n(cache.data() + 2 * h_, h_, ga);
+    vk.sigmoid_n(cache.data() + 3 * h_, h_, oa);
     for (std::size_t j = 0; j < h_; ++j) {
-      const float i = sigmoid1(cache[j]);
-      const float f = sigmoid1(cache[h_ + j]);
-      const float g = std::tanh(cache[2 * h_ + j]);
-      const float o = sigmoid1(cache[3 * h_ + j]);
-      const float c = f * c_prev[j] + i * g;
-      c_out[j] = c;
-      h_out[j] = o * std::tanh(c);
+      c_out[j] = fa[j] * c_prev[j] + ia[j] * ga[j];
     }
+    vk.tanh_n(c_out.data(), h_, tc);
+    for (std::size_t j = 0; j < h_; ++j) h_out[j] = oa[j] * tc[j];
   } else {
     // cache = [x-part(z r n) | h-part(z r n)].
-    const std::size_t xo = 0, ho = 3 * h_;
+    buf.resize(3 * h_);
+    float* za = buf.data();  // z and r pre-activations, then gates
+    float* na = za + 2 * h_;
+    const float* xp = cache.data();
+    const float* hp = cache.data() + 3 * h_;
+    for (std::size_t j = 0; j < 2 * h_; ++j) za[j] = xp[j] + hp[j];
+    vk.sigmoid_n(za, 2 * h_, za);
+    const float* ra = za + h_;
     for (std::size_t j = 0; j < h_; ++j) {
-      const float z = sigmoid1(cache[xo + j] + cache[ho + j]);
-      const float r = sigmoid1(cache[xo + h_ + j] + cache[ho + h_ + j]);
-      const float n =
-          std::tanh(cache[xo + 2 * h_ + j] + r * cache[ho + 2 * h_ + j]);
-      h_out[j] = (1.0f - z) * h_prev[j] + z * n;
+      na[j] = xp[2 * h_ + j] + ra[j] * hp[2 * h_ + j];
+    }
+    vk.tanh_n(na, h_, na);
+    for (std::size_t j = 0; j < h_; ++j) {
+      h_out[j] = (1.0f - za[j]) * h_prev[j] + za[j] * na[j];
     }
   }
 }
@@ -71,9 +86,9 @@ void RnnCell::full_update(std::span<const float> x,
   std::vector<float> xpart(gh), hpart(gh);
   // x-part: x * Wx + b (accumulating gemv on top of the bias row).
   for (std::size_t j = 0; j < gh; ++j) xpart[j] = w_.rnn_b(0, j);
-  gemv_add(x, w_.rnn_wx, xpart);
+  ops::gemv(x, w_.rnn_wx, xpart, {.accumulate = true});
   // h-part: h_prev * Wh.
-  gemv(h_prev, w_.rnn_wh, hpart);
+  ops::gemv(h_prev, w_.rnn_wh, hpart);
 
   if (kind_ == RnnKind::kLstm) {
     for (std::size_t j = 0; j < gh; ++j) cache[j] = xpart[j] + hpart[j];
@@ -94,6 +109,63 @@ void RnnCell::full_update(std::span<const float> x,
   ++counts.rnn_full;
 }
 
+void RnnCell::full_update_rows(const Matrix& z,
+                               std::span<const VertexId> rows, Matrix& h,
+                               Matrix& c, Matrix& cache, RnnBatchScratch& ws,
+                               OpCounts& counts) const {
+  if (rows.empty()) return;
+  const std::size_t gh = gates_ * h_;
+  TAGNN_CHECK(z.cols() == dz_ && h.cols() == h_);
+  TAGNN_CHECK(cache.cols() == cache_dim());
+  const std::size_t n = z.rows();
+  if (ws.xpart.rows() != n || ws.xpart.cols() != gh) {
+    ws.xpart = Matrix(n, gh);
+  }
+  if (ws.hpart.rows() != n || ws.hpart.cols() != gh) {
+    ws.hpart = Matrix(n, gh);
+  }
+  // x-part: bias prefill, then one masked accumulate-mode GEMM — the
+  // same bias-first ascending-k accumulation order as the per-vertex
+  // gemv path, so the batch is value-identical to row-by-row updates.
+  const float* bias = w_.rnn_b.data();
+  parallel_for(0, rows.size(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      float* xr = ws.xpart.data() + static_cast<std::size_t>(rows[i]) * gh;
+      std::copy(bias, bias + gh, xr);
+    }
+  }, /*serial_threshold=*/256);
+  ops::gemm(z, w_.rnn_wx, ws.xpart, {.rows = rows, .accumulate = true});
+  // h-part: reads every listed h row before any output row is written,
+  // so the in-place h update below cannot feed back into the batch.
+  ops::gemm(h, w_.rnn_wh, ws.hpart, {.rows = rows});
+
+  parallel_for(0, rows.size(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const auto v = static_cast<std::size_t>(rows[i]);
+      const float* xp = ws.xpart.data() + v * gh;
+      const float* hp = ws.hpart.data() + v * gh;
+      const std::span<float> vcache = cache.row(v);
+      if (kind_ == RnnKind::kLstm) {
+        for (std::size_t j = 0; j < gh; ++j) vcache[j] = xp[j] + hp[j];
+      } else {
+        for (std::size_t j = 0; j < gh; ++j) {
+          vcache[j] = xp[j];
+          vcache[gh + j] = hp[j];
+        }
+      }
+      derive_outputs(h.row(v), c.row(v), vcache, h.row(v), c.row(v));
+    }
+  }, /*serial_threshold=*/64);
+
+  const auto nv = static_cast<double>(rows.size());
+  counts.macs += nv * full_update_macs();
+  counts.activations += nv * static_cast<double>(gh + h_);
+  counts.feature_bytes += nv * static_cast<double>(dz_ + h_) * 4.0;
+  counts.output_bytes +=
+      nv * static_cast<double>(h_ + cell_state_dim()) * 4.0;
+  counts.rnn_full += rows.size();
+}
+
 void RnnCell::delta_update(std::span<const float> dx,
                            std::span<const float> dh,
                            std::span<const float> h_prev,
@@ -103,14 +175,14 @@ void RnnCell::delta_update(std::span<const float> dx,
   TAGNN_CHECK(dx.size() == dz_ && dh.size() == h_);
   TAGNN_CHECK(cache.size() == cache_dim());
   const std::size_t gh = gates_ * h_;
+  const kernels::VecKernels vk = kernels::registry().vec();
   // Condensed non-zero input-delta columns update the x-part in place.
   std::size_t nnz = 0;
   for (std::size_t i = 0; i < dz_; ++i) {
     const float di = dx[i];
     if (di == 0.0f) continue;
     ++nnz;
-    const float* row = w_.rnn_wx.data() + i * gh;
-    for (std::size_t j = 0; j < gh; ++j) cache[j] += di * row[j];
+    vk.axpy(w_.rnn_wx.data() + i * gh, di, gh, cache.data());
   }
   // Condensed recurrent-delta columns refresh the h-part (for the LSTM
   // the x- and h-parts share one combined pre-activation vector; the
@@ -120,8 +192,7 @@ void RnnCell::delta_update(std::span<const float> dx,
     const float di = dh[i];
     if (di == 0.0f) continue;
     ++nnz;
-    const float* row = w_.rnn_wh.data() + i * gh;
-    for (std::size_t j = 0; j < gh; ++j) hpart[j] += di * row[j];
+    vk.axpy(w_.rnn_wh.data() + i * gh, di, gh, hpart);
   }
   derive_outputs(h_prev, c_prev, cache, h_out, c_out);
 
@@ -133,6 +204,63 @@ void RnnCell::delta_update(std::span<const float> dx,
   ++counts.rnn_delta;
 }
 
+void RnnCell::delta_update_rows(const Matrix& dx, const Matrix& dh,
+                                std::span<const VertexId> rows,
+                                double total_nnz, Matrix& h, Matrix& c,
+                                Matrix& cache, RnnBatchScratch& ws,
+                                OpCounts& counts) const {
+  if (rows.empty()) return;
+  const std::size_t gh = gates_ * h_;
+  TAGNN_CHECK(dx.cols() == dz_ && dh.cols() == h_);
+  TAGNN_CHECK(cache.cols() == cache_dim());
+  const std::size_t n = dx.rows();
+  if (ws.xpart.rows() != n || ws.xpart.cols() != gh) {
+    ws.xpart = Matrix(n, gh);
+  }
+  if (ws.hpart.rows() != n || ws.hpart.cols() != gh) {
+    ws.hpart = Matrix(n, gh);
+  }
+  // At the densities the skip thresholds produce, delta rows are
+  // mostly dense, so the batch pays off as two packed GEMMs (zero
+  // lanes contribute exact-zero products) instead of per-lane axpy
+  // streaming with a weight-row reload per lane.
+  ops::gemm(dx, w_.rnn_wx, ws.xpart, {.rows = rows});
+  ops::gemm(dh, w_.rnn_wh, ws.hpart, {.rows = rows});
+
+  parallel_for(0, rows.size(), [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const auto v = static_cast<std::size_t>(rows[i]);
+      const float* xp = ws.xpart.data() + v * gh;
+      const float* hp = ws.hpart.data() + v * gh;
+      const std::span<float> vcache = cache.row(v);
+      if (kind_ == RnnKind::kLstm) {
+        // x- and h-parts share the combined pre-activation vector.
+        for (std::size_t j = 0; j < gh; ++j) {
+          vcache[j] = (vcache[j] + xp[j]) + hp[j];
+        }
+      } else {
+        // GRU keeps the h-part in the upper half of the cache.
+        for (std::size_t j = 0; j < gh; ++j) {
+          vcache[j] += xp[j];
+          vcache[gh + j] += hp[j];
+        }
+      }
+      derive_outputs(h.row(v), c.row(v), vcache, h.row(v), c.row(v));
+    }
+  }, /*serial_threshold=*/64);
+
+  // Charged as the Condense Unit computes it: only the kept lanes cost
+  // MACs/fetch traffic, identical to summing the per-vertex charges.
+  const auto nv = static_cast<double>(rows.size());
+  counts.macs += total_nnz * static_cast<double>(gh);
+  counts.activations += nv * static_cast<double>(gh + h_);
+  counts.feature_bytes += (total_nnz + nv * static_cast<double>(h_)) * 4.0;
+  counts.output_bytes +=
+      nv * static_cast<double>(h_ + cell_state_dim()) * 4.0;
+  counts.delta_nnz += total_nnz;
+  counts.rnn_delta += rows.size();
+}
+
 void RnnCell::delta_update(const CondensedVector& dx,
                            const CondensedVector& dh,
                            std::span<const float> h_prev,
@@ -142,16 +270,14 @@ void RnnCell::delta_update(const CondensedVector& dx,
   TAGNN_CHECK(dx.dim == dz_ && dh.dim == h_);
   TAGNN_CHECK(cache.size() == cache_dim());
   const std::size_t gh = gates_ * h_;
+  const kernels::VecKernels vk = kernels::registry().vec();
   for (std::size_t i = 0; i < dx.values.size(); ++i) {
-    const float* row = w_.rnn_wx.data() + dx.addresses[i] * gh;
-    const float di = dx.values[i];
-    for (std::size_t j = 0; j < gh; ++j) cache[j] += di * row[j];
+    vk.axpy(w_.rnn_wx.data() + dx.addresses[i] * gh, dx.values[i], gh,
+            cache.data());
   }
   float* hpart = kind_ == RnnKind::kLstm ? cache.data() : cache.data() + gh;
   for (std::size_t i = 0; i < dh.values.size(); ++i) {
-    const float* row = w_.rnn_wh.data() + dh.addresses[i] * gh;
-    const float di = dh.values[i];
-    for (std::size_t j = 0; j < gh; ++j) hpart[j] += di * row[j];
+    vk.axpy(w_.rnn_wh.data() + dh.addresses[i] * gh, dh.values[i], gh, hpart);
   }
   derive_outputs(h_prev, c_prev, cache, h_out, c_out);
 

@@ -10,12 +10,22 @@
 
 #include <span>
 
+#include "common/types.hpp"
 #include "nn/condense.hpp"
 
 #include "nn/op_counts.hpp"
 #include "nn/weights.hpp"
+#include "tensor/matrix.hpp"
 
 namespace tagnn {
+
+/// Caller-owned gate staging matrices (n x gates*H) reused across
+/// full_update_rows calls so the pre-activation buffers are not
+/// reallocated per snapshot. Engines keep one per run.
+struct RnnBatchScratch {
+  Matrix xpart;
+  Matrix hpart;
+};
 
 class RnnCell {
  public:
@@ -40,6 +50,18 @@ class RnnCell {
                    std::span<float> c_out, std::span<float> cache,
                    OpCounts& counts) const;
 
+  /// Batched full update over the listed rows (strictly ascending):
+  /// both gate GEMVs of every listed vertex run as two masked GEMMs
+  /// over the whole batch (x * Wx accumulated onto bias-prefilled rows,
+  /// h_prev * Wh), then the per-vertex outputs are derived. h/c/cache
+  /// rows of `z`/`h`/`c`/`cache` are updated in place; unlisted rows
+  /// are untouched. Value-identical to calling full_update per row
+  /// (same ascending-k accumulation order) — the concurrent engine's
+  /// hot path.
+  void full_update_rows(const Matrix& z, std::span<const VertexId> rows,
+                        Matrix& h, Matrix& c, Matrix& cache,
+                        RnnBatchScratch& ws, OpCounts& counts) const;
+
   /// Delta update (DeltaRNN-style): folds the sparse input delta `dx`
   /// and the sparse recurrent delta `dh` (drift of h since the last
   /// update that refreshed the cache) into the cached pre-activations
@@ -59,6 +81,19 @@ class RnnCell {
                     std::span<const float> c_prev, std::span<float> h_out,
                     std::span<float> c_out, std::span<float> cache,
                     OpCounts& counts) const;
+
+  /// Batched delta update over the listed rows (strictly ascending):
+  /// `dx`/`dh` hold the thresholded deltas as dense rows (zeros mark
+  /// unchanged lanes — see dense_delta), and both gate products run as
+  /// masked GEMMs over the whole batch before the per-row cache fold
+  /// and output derivation. `total_nnz` is the kept-lane count across
+  /// all listed rows, charged exactly as the per-vertex path charges
+  /// its condensed lanes. Matches per-row delta_update up to float
+  /// reassociation (the lane sum is formed before touching the cache).
+  void delta_update_rows(const Matrix& dx, const Matrix& dh,
+                         std::span<const VertexId> rows, double total_nnz,
+                         Matrix& h, Matrix& c, Matrix& cache,
+                         RnnBatchScratch& ws, OpCounts& counts) const;
 
   /// MACs of one full update (for cost models).
   double full_update_macs() const {

@@ -6,6 +6,7 @@
 
 #include "obs/jsonv.hpp"
 #include "sim/memory.hpp"
+#include "tensor/kernel_registry.hpp"
 
 namespace tagnn {
 
@@ -90,6 +91,13 @@ void write_json_report(std::ostream& os, const std::string& workload,
   const auto num = [&os](double v) { obs::write_json_number(os, v); };
   os << "{\n"
      << "  \"workload\": \"" << json_escape(workload) << "\",\n"
+     << "  \"kernels\": {";
+  const auto variants = kernels::registry().active_variants();
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    os << (i == 0 ? "" : ", ") << '"' << json_escape(variants[i].first)
+       << "\": \"" << json_escape(variants[i].second) << '"';
+  }
+  os << "},\n"
      << "  \"config\": {\n"
      << "    \"clock_mhz\": " << cfg.clock_mhz << ",\n"
      << "    \"num_dcus\": " << cfg.num_dcus << ",\n"

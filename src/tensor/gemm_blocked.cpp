@@ -1,4 +1,4 @@
-// Cache-blocked GEMM (docs/PERFORMANCE.md).
+// Cache-blocked GEMM (docs/PERFORMANCE.md) — the ops::gemm entry point.
 //
 // Loop structure, outermost first:
 //   jc : nc-wide column panels of B/C;
@@ -9,165 +9,71 @@
 //   micro-kernel: mr rows of A broadcast against the packed panel, so
 //        every packed element loaded from cache is reused mr times.
 //
-// When one k-panel covers all of k (k <= kc, the common case for GNN
-// layer dims) the micro-kernel holds a 4 x 16 C tile in registers for
-// the whole accumulation and stores it once — no C traffic inside the
-// k loop. Deeper k falls back to streaming accumulation into C, which
-// keeps the same per-element evaluation order across panels.
+// The micro-kernels themselves come from the kernel registry
+// (tensor/kernel_registry.hpp): AVX2 when the host supports it, scalar
+// otherwise, overridable via TAGNN_KERNEL_ISA / --kernel-isa. When one
+// k-panel covers all of k (k <= kc, the common case for GNN layer dims)
+// and the call is not accumulating, the tile_* kernels hold a 4 x 16 C
+// tile in registers for the whole accumulation and store it once — no C
+// traffic inside the k loop. Deeper k and accumulate mode use the
+// streaming micro_* kernels, which fold into C's existing contents and
+// keep the same per-element evaluation order across panels.
 //
 // Exactness: each C element accumulates its k terms in strictly
 // ascending order (pc panels ascend, k inside a panel ascends), the
-// same order as gemm_naive and gemv, and rows never split across
+// same order as gemm_naive and ops::gemv, and rows never split across
 // threads mid-accumulation — results are value-identical to the naive
-// kernel for finite inputs and independent of the thread count.
+// kernel for finite inputs, independent of the thread count and of the
+// dispatched ISA.
 #include <algorithm>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "tensor/kernel_registry.hpp"
 #include "tensor/ops.hpp"
 
-namespace tagnn {
-namespace {
+namespace tagnn::ops {
 
-constexpr std::size_t kTileCols = 16;  // C-tile width held in registers
-
-// Accumulates c[r, j0:j0+ncb) += a[r, p0:p0+kcb) * packed for one row
-// (streaming fallback for k panels that do not cover all of k).
-inline void micro_1row(const float* arow, const float* packed,
-                       std::size_t kcb, std::size_t ncb, float* crow) {
-  for (std::size_t kk = 0; kk < kcb; ++kk) {
-    const float aik = arow[kk];
-    if (aik == 0.0f) continue;
-    const float* bp = packed + kk * ncb;
-    for (std::size_t j = 0; j < ncb; ++j) crow[j] += aik * bp[j];
-  }
-}
-
-// Four independent C rows against one packed panel: one load of bp[j]
-// feeds four multiply-adds (streaming fallback, see micro_1row).
-inline void micro_4row(const float* a0, const float* a1, const float* a2,
-                       const float* a3, const float* packed, std::size_t kcb,
-                       std::size_t ncb, float* c0, float* c1, float* c2,
-                       float* c3) {
-  for (std::size_t kk = 0; kk < kcb; ++kk) {
-    const float a0k = a0[kk], a1k = a1[kk], a2k = a2[kk], a3k = a3[kk];
-    if (a0k == 0.0f && a1k == 0.0f && a2k == 0.0f && a3k == 0.0f) continue;
-    const float* bp = packed + kk * ncb;
-    for (std::size_t j = 0; j < ncb; ++j) {
-      const float bj = bp[j];
-      c0[j] += a0k * bj;
-      c1[j] += a1k * bj;
-      c2[j] += a2k * bj;
-      c3[j] += a3k * bj;
-    }
-  }
-}
-
-// One C row over the full k range, kTileCols-wide register tiles.
-// `stride` is the packed panel's row pitch; `width` the C columns to
-// produce starting at `packed`/`crow` (width <= stride).
-inline void tile_1row(const float* arow, const float* packed,
-                      std::size_t kcb, std::size_t stride, std::size_t width,
-                      float* crow) {
-  std::size_t j = 0;
-  for (; j + kTileCols <= width; j += kTileCols) {
-    float t[kTileCols] = {};
-    const float* bp = packed + j;
-    for (std::size_t kk = 0; kk < kcb; ++kk) {
-      const float x = arow[kk];
-      const float* bk = bp + kk * stride;
-      for (std::size_t u = 0; u < kTileCols; ++u) t[u] += x * bk[u];
-    }
-    for (std::size_t u = 0; u < kTileCols; ++u) crow[j + u] = t[u];
-  }
-  if (j < width) {
-    const std::size_t w = width - j;
-    float t[kTileCols] = {};
-    const float* bp = packed + j;
-    for (std::size_t kk = 0; kk < kcb; ++kk) {
-      const float x = arow[kk];
-      const float* bk = bp + kk * stride;
-      for (std::size_t u = 0; u < w; ++u) t[u] += x * bk[u];
-    }
-    for (std::size_t u = 0; u < w; ++u) crow[j + u] = t[u];
-  }
-}
-
-// Four C rows over the full k range: a (4 x kTileCols) accumulator tile
-// lives in registers across the whole k loop and is stored exactly
-// once, so the inner loop is pure broadcast-load-fma with no C traffic.
-inline void tile_4row(const float* a0, const float* a1, const float* a2,
-                      const float* a3, const float* packed, std::size_t kcb,
-                      std::size_t ncb, float* c0, float* c1, float* c2,
-                      float* c3) {
-  std::size_t j = 0;
-  for (; j + kTileCols <= ncb; j += kTileCols) {
-    float t0[kTileCols] = {}, t1[kTileCols] = {};
-    float t2[kTileCols] = {}, t3[kTileCols] = {};
-    const float* bp = packed + j;
-    for (std::size_t kk = 0; kk < kcb; ++kk) {
-      const float x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
-      const float* bk = bp + kk * ncb;
-      for (std::size_t u = 0; u < kTileCols; ++u) {
-        const float bu = bk[u];
-        t0[u] += x0 * bu;
-        t1[u] += x1 * bu;
-        t2[u] += x2 * bu;
-        t3[u] += x3 * bu;
-      }
-    }
-    for (std::size_t u = 0; u < kTileCols; ++u) {
-      c0[j + u] = t0[u];
-      c1[j + u] = t1[u];
-      c2[j + u] = t2[u];
-      c3[j + u] = t3[u];
-    }
-  }
-  if (j < ncb) {
-    tile_1row(a0, packed + j, kcb, ncb, ncb - j, c0 + j);
-    tile_1row(a1, packed + j, kcb, ncb, ncb - j, c1 + j);
-    tile_1row(a2, packed + j, kcb, ncb, ncb - j, c2 + j);
-    tile_1row(a3, packed + j, kcb, ncb, ncb - j, c3 + j);
-  }
-}
-
-}  // namespace
-
-void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c,
-                  std::span<const std::uint32_t> rows,
-                  const GemmBlocking& blk) {
+void gemm(const Matrix& a, const Matrix& b, Matrix& c, const GemmOpts& opts) {
   TAGNN_CHECK_MSG(a.cols() == b.rows(),
                   "gemm shape mismatch: " << a.rows() << 'x' << a.cols()
                                           << " * " << b.rows() << 'x'
                                           << b.cols());
+  const std::span<const std::uint32_t> rows = opts.rows;
   const std::size_t m = a.rows();
   const std::size_t k_dim = a.cols();
   const std::size_t n = b.cols();
   const bool masked = !rows.empty();
   if (!masked) {
     if (c.rows() != m || c.cols() != n) {
+      TAGNN_CHECK_MSG(!opts.accumulate,
+                      "accumulate-mode gemm needs a pre-shaped C");
       c = Matrix(m, n);
-    } else {
+    } else if (!opts.accumulate) {
       c.fill(0.0f);
     }
   } else {
     TAGNN_CHECK(c.rows() == m && c.cols() == n);
-    for (const std::uint32_t r : rows) {
-      TAGNN_DCHECK(r < m);
-      float* cr = c.data() + static_cast<std::size_t>(r) * n;
-      std::fill(cr, cr + n, 0.0f);
+    if (!opts.accumulate) {
+      for (const std::uint32_t r : rows) {
+        TAGNN_DCHECK(r < m);
+        float* cr = c.data() + static_cast<std::size_t>(r) * n;
+        std::fill(cr, cr + n, 0.0f);
+      }
     }
   }
   const std::size_t num_rows = masked ? rows.size() : m;
   if (num_rows == 0 || n == 0 || k_dim == 0) return;
 
-  const std::size_t kc = std::max<std::size_t>(1, blk.kc);
-  const std::size_t nc = std::max<std::size_t>(1, blk.nc);
+  const kernels::GemmMicroKernels mk = kernels::registry().gemm();
+  const std::size_t kc = std::max<std::size_t>(1, opts.blocking.kc);
+  const std::size_t nc = std::max<std::size_t>(1, opts.blocking.nc);
   std::vector<float> packed(std::min(kc, k_dim) * std::min(nc, n));
   // A single k panel lets the micro-kernel keep its C tile in registers
-  // for the full accumulation; wrapping the tail tile into the packed
-  // scratch is handled inside tile_1row/tile_4row.
-  const bool single_panel = k_dim <= kc;
+  // for the full accumulation (register tiles overwrite C, so
+  // accumulate mode always streams); wrapping the tail tile into the
+  // packed scratch is handled inside tile_1row/tile_4row.
+  const bool single_panel = k_dim <= kc && !opts.accumulate;
 
   // Maps a logical row index to the physical C/A row.
   auto phys = [&](std::size_t i) -> std::size_t {
@@ -199,9 +105,9 @@ void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c,
           float* c2 = c.data() + p2 * n + jc;
           float* c3 = c.data() + p3 * n + jc;
           if (single_panel) {
-            tile_4row(a0, a1, a2, a3, pk, kcb, ncb, c0, c1, c2, c3);
+            mk.tile_4row(a0, a1, a2, a3, pk, kcb, ncb, c0, c1, c2, c3);
           } else {
-            micro_4row(a0, a1, a2, a3, pk, kcb, ncb, c0, c1, c2, c3);
+            mk.micro_4row(a0, a1, a2, a3, pk, kcb, ncb, c0, c1, c2, c3);
           }
         }
         for (; i < r1; ++i) {
@@ -209,9 +115,9 @@ void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c,
           const float* ar = a.data() + p * k_dim + pc;
           float* cr = c.data() + p * n + jc;
           if (single_panel) {
-            tile_1row(ar, pk, kcb, ncb, ncb, cr);
+            mk.tile_1row(ar, pk, kcb, ncb, ncb, cr);
           } else {
-            micro_1row(ar, pk, kcb, ncb, cr);
+            mk.micro_1row(ar, pk, kcb, ncb, cr);
           }
         }
       }, /*serial_threshold=*/32);
@@ -219,4 +125,4 @@ void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c,
   }
 }
 
-}  // namespace tagnn
+}  // namespace tagnn::ops

@@ -1,0 +1,17 @@
+// Internal: explicit registration entry points of the per-ISA kernel
+// translation units. Called once from KernelRegistry's initialisation —
+// explicit calls instead of static-initializer registrars because the
+// latter are dead-stripped when the tensor library is linked as a
+// static archive.
+#pragma once
+
+namespace tagnn::kernels {
+
+class KernelRegistry;
+
+void register_scalar_kernels(KernelRegistry& r);
+/// No-op when the build targets a non-x86 architecture (the TU then
+/// registers nothing and dispatch stays scalar).
+void register_avx2_kernels(KernelRegistry& r);
+
+}  // namespace tagnn::kernels

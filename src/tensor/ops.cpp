@@ -3,12 +3,9 @@
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "tensor/kernel_registry.hpp"
 
 namespace tagnn {
-
-void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
-  gemm_blocked(a, b, c);
-}
 
 void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c) {
   TAGNN_CHECK_MSG(a.cols() == b.rows(),
@@ -37,28 +34,33 @@ void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c) {
   }, /*serial_threshold=*/64);
 }
 
-void gemv(std::span<const float> x, const Matrix& w, std::span<float> out) {
-  TAGNN_CHECK(x.size() == w.rows() && out.size() == w.cols());
-  const std::size_t n = w.cols();
-  for (std::size_t j = 0; j < n; ++j) out[j] = 0.0f;
-  gemv_add(x, w, out);
-}
+namespace ops {
 
-void gemv_add(std::span<const float> x, const Matrix& w,
-              std::span<float> out) {
+// Streams rows of W through the registry axpy kernel: out starts from
+// zero (or its existing contents in accumulate mode) and folds in
+// x[i] * W(i, :) in ascending i order, skipping exact-zero x lanes —
+// the same order and skip rule as the historical gemv/gemv_add pair,
+// so results are value-identical under every ISA.
+void gemv(std::span<const float> x, const Matrix& w, std::span<float> out,
+          const GemvOpts& opts) {
   TAGNN_CHECK(x.size() == w.rows() && out.size() == w.cols());
   const std::size_t n = w.cols();
+  if (!opts.accumulate) {
+    for (std::size_t j = 0; j < n; ++j) out[j] = 0.0f;
+  }
+  const kernels::VecKernels& vec = kernels::registry().vec();
   for (std::size_t i = 0; i < w.rows(); ++i) {
     const float xi = x[i];
     if (xi == 0.0f) continue;
-    const float* wi = w.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) out[j] += xi * wi[j];
+    vec.axpy(w.data() + i * n, xi, n, out.data());
   }
 }
 
+}  // namespace ops
+
 void axpy(std::span<const float> x, std::span<float> y, float alpha) {
   TAGNN_CHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::registry().vec().axpy(x.data(), alpha, x.size(), y.data());
 }
 
 void copy(std::span<const float> src, std::span<float> dst) {
@@ -67,15 +69,15 @@ void copy(std::span<const float> src, std::span<float> dst) {
 }
 
 void relu(std::span<float> x) {
-  for (auto& v : x) v = v > 0.0f ? v : 0.0f;
+  kernels::registry().vec().relu(x.data(), x.size());
 }
 
 void sigmoid(std::span<float> x) {
-  for (auto& v : x) v = 1.0f / (1.0f + std::exp(-v));
+  kernels::registry().vec().sigmoid_n(x.data(), x.size(), x.data());
 }
 
 void tanh_act(std::span<float> x) {
-  for (auto& v : x) v = std::tanh(v);
+  kernels::registry().vec().tanh_n(x.data(), x.size(), x.data());
 }
 
 float norm2(std::span<const float> x) {

@@ -1,12 +1,19 @@
-// Dense kernels used by the DGNN models: GEMM, GEMV, element-wise ops,
-// activations, and similarity measures. Kernels parallelise over rows
-// via the global thread pool (schedule(static) idiom).
+// Dense kernels used by the DGNN models: GEMM/GEMV, element-wise ops,
+// activations, and similarity measures.
 //
-// GEMM dispatches to a cache-blocked, B-panel-packing kernel (see
-// blocking.hpp and docs/PERFORMANCE.md). Every variant accumulates each
-// output element in strictly ascending k order, so for finite inputs
-// the blocked, naive, and gemv paths produce value-identical results at
-// any thread count.
+// The matrix-multiply surface lives in the nested ops:: namespace as a
+// single registry-backed entry point per op — ops::gemm / ops::gemv
+// with an options struct — instead of the historical free-function
+// spread (gemm / gemm_blocked / gemv / gemv_add with trailing default
+// arguments). The micro-kernels behind them are dispatched at runtime
+// through kernels::registry() (AVX2 with a scalar fallback; see
+// tensor/kernel_registry.hpp); kernels::registry().active("gemm")
+// reports which variant is serving.
+//
+// Exactness: every variant accumulates each output element in strictly
+// ascending k order and the SIMD kernels avoid FMA contraction, so for
+// finite inputs ops::gemm, ops::gemv, and gemm_naive produce
+// value-identical results at any thread count under any ISA.
 #pragma once
 
 #include <cstdint>
@@ -17,38 +24,56 @@
 
 namespace tagnn {
 
-/// C = A * B. Shapes: (m x k) * (k x n) -> (m x n). C is overwritten.
-/// Dispatches to the blocked kernel.
-void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+namespace ops {
 
-/// Pre-blocking i-k-j reference kernel, kept for the equivalence tests
-/// and as the bench_regress baseline.
-void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c);
+struct GemmOpts {
+  /// When non-empty only the listed rows of C are produced (strictly
+  /// ascending, in range); all other rows are left untouched — the
+  /// masked-combination path of the GCN layers.
+  std::span<const std::uint32_t> rows = {};
+  /// Cache-blocking parameters (kc/nc/mr).
+  GemmBlocking blocking{};
+  /// C += A * B instead of C = A * B: the produced rows are accumulated
+  /// onto their existing contents (used by the batched RNN gate
+  /// pre-activations, which start from the bias row). Forces the
+  /// streaming micro-kernels so the existing values are folded in.
+  bool accumulate = false;
+};
 
-/// Cache-blocked GEMM with B-panel packing and an mr-row micro-kernel.
-/// When `rows` is non-empty only the listed rows of C are computed
-/// (zeroed then accumulated); all other rows of C are left untouched —
-/// the masked-combination path of the GCN layers. Row indices must be
-/// strictly ascending and in range.
-void gemm_blocked(const Matrix& a, const Matrix& b, Matrix& c,
-                  std::span<const std::uint32_t> rows = {},
-                  const GemmBlocking& blk = {});
+/// C = A * B (or C += A * B, see GemmOpts::accumulate).
+/// Shapes: (m x k) * (k x n) -> (m x n). Cache-blocked with B-panel
+/// packing and a registry-dispatched mr-row micro-kernel.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c,
+          const GemmOpts& opts = {});
+
+struct GemvOpts {
+  /// out[j] += ... instead of out[j] = ... (gate pre-activations start
+  /// from the bias row).
+  bool accumulate = false;
+};
 
 /// out[j] = sum_i x[i] * w(i, j); out must have w.cols() elements.
-void gemv(std::span<const float> x, const Matrix& w, std::span<float> out);
+/// Row-streaming over the registry axpy kernel; value-identical to
+/// ops::gemm on a 1-row matrix.
+void gemv(std::span<const float> x, const Matrix& w, std::span<float> out,
+          const GemvOpts& opts = {});
 
-/// out[j] += sum_i x[i] * w(i, j) — accumulating gemv, used by the RNN
-/// gate pre-activations (which start from the bias row).
-void gemv_add(std::span<const float> x, const Matrix& w,
-              std::span<float> out);
+}  // namespace ops
 
-/// y += x (same length).
+/// Pre-blocking i-k-j scalar reference kernel, kept only for the
+/// equivalence tests and as the bench_regress baseline. Never
+/// dispatches through the registry.
+void gemm_naive(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// y += alpha * x (same length). Registry-dispatched.
 void axpy(std::span<const float> x, std::span<float> y, float alpha = 1.0f);
 
 /// dst = src (same length).
 void copy(std::span<const float> src, std::span<float> dst);
 
-/// Element-wise activations, in place.
+/// Element-wise activations, in place, all registry-dispatched.
+/// sigmoid/tanh use the polynomial exp approximation (bit-identical
+/// across ISAs, ~2 ulp from libm — tensor/activation_math.hpp).
 void relu(std::span<float> x);
 void sigmoid(std::span<float> x);
 void tanh_act(std::span<float> x);

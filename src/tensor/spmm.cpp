@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/thread_pool.hpp"
+#include "tensor/kernel_registry.hpp"
 
 namespace tagnn {
 namespace {
@@ -16,9 +17,12 @@ void check_shapes(std::span<const EdgeId> offsets, const Matrix& x,
   for (const VertexId r : rows) TAGNN_DCHECK(r < x.rows());
 }
 
-// Aggregates one row; shared by the blocked and naive kernels so their
-// floating-point behaviour cannot drift apart.
-inline void aggregate_row(std::span<const EdgeId> offsets,
+// Aggregates one row via the registry's row primitives; shared by the
+// blocked and naive kernels so their floating-point behaviour cannot
+// drift apart (the naive kernel pins the scalar table, which every SIMD
+// variant is bit-exact with).
+inline void aggregate_row(const kernels::SpmmMicroKernels& rk,
+                          std::span<const EdgeId> offsets,
                           std::span<const VertexId> neighbors,
                           const std::vector<bool>& present, const Matrix& x,
                           VertexId v, float* o) {
@@ -39,15 +43,15 @@ inline void aggregate_row(std::span<const EdgeId> offsets,
         x.data() + static_cast<std::size_t>(neighbors[e]) * d;
     const float* rb =
         x.data() + static_cast<std::size_t>(neighbors[e + 1]) * d;
-    for (std::size_t j = 0; j < d; ++j) o[j] = (o[j] + ra[j]) + rb[j];
+    rk.row_add2(ra, rb, d, o);
   }
   if (e < e1) {
     const float* ra =
         x.data() + static_cast<std::size_t>(neighbors[e]) * d;
-    for (std::size_t j = 0; j < d; ++j) o[j] += ra[j];
+    rk.row_add(ra, d, o);
   }
   const float inv = 1.0f / static_cast<float>(e1 - e0 + 1);
-  for (std::size_t j = 0; j < d; ++j) o[j] *= inv;
+  rk.row_scale(inv, d, o);
 }
 
 }  // namespace
@@ -63,12 +67,13 @@ void spmm_mean_csr(std::span<const EdgeId> offsets,
   check_shapes(offsets, x, present, rows, out);
   const std::size_t d = x.cols();
   const std::size_t num_rows = masked ? rows.size() : x.rows();
+  const kernels::SpmmMicroKernels rk = kernels::registry().spmm();
   // Chunk granularity balances fork/join overhead against tail latency
   // on skewed degree distributions; rows stay whole per thread.
   parallel_for(0, num_rows, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i) {
       const VertexId v = masked ? rows[i] : static_cast<VertexId>(i);
-      aggregate_row(offsets, neighbors, present, x, v,
+      aggregate_row(rk, offsets, neighbors, present, x, v,
                     out.data() + static_cast<std::size_t>(v) * d);
     }
   }, /*serial_threshold=*/64);
@@ -85,9 +90,12 @@ void spmm_mean_naive(std::span<const EdgeId> offsets,
   check_shapes(offsets, x, present, rows, out);
   const std::size_t d = x.cols();
   const std::size_t num_rows = masked ? rows.size() : x.rows();
+  // The reference path always runs the scalar row primitives.
+  const kernels::SpmmMicroKernels rk =
+      kernels::registry().spmm(kernels::Isa::kScalar);
   for (std::size_t i = 0; i < num_rows; ++i) {
     const VertexId v = masked ? rows[i] : static_cast<VertexId>(i);
-    aggregate_row(offsets, neighbors, present, x, v,
+    aggregate_row(rk, offsets, neighbors, present, x, v,
                   out.data() + static_cast<std::size_t>(v) * d);
   }
 }

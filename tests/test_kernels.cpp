@@ -1,10 +1,16 @@
-// Equivalence tests for the blocked hot-path kernels (PR: blocked GEMM
-// + CSR SpMM + window pipelining). The contract under test: the
-// optimised kernels are *value-identical* to the naive references for
-// finite inputs, at any thread count, including masked-row execution —
-// so swapping them under the engines cannot change any result.
+// Equivalence tests for the blocked hot-path kernels and the kernel
+// registry. The contract under test: every registered ISA variant (and
+// the blocked structure around it) is *value-identical* to the scalar
+// references for finite inputs, at any thread count, including
+// masked-row and accumulate-mode execution — so neither swapping the
+// kernels under the engines nor forcing TAGNN_KERNEL_ISA can change
+// any result.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -13,12 +19,34 @@
 #include "nn/engine.hpp"
 #include "nn/gcn.hpp"
 #include "nn/quantize.hpp"
+#include "nn/rnn.hpp"
 #include "tagnn/accelerator.hpp"
+#include "tensor/kernel_registry.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/spmm.hpp"
 
 namespace tagnn {
 namespace {
+
+// Forces a dispatch cap for one scope; restores auto on exit.
+struct ScopedIsa {
+  explicit ScopedIsa(const char* cap) {
+    ok = kernels::registry().force_isa(cap, &error);
+  }
+  ~ScopedIsa() { kernels::registry().force_isa("auto"); }
+  bool ok = false;
+  std::string error;
+};
+
+bool bytes_equal(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+bool bytes_equal(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
 
 Matrix rand_mat(std::size_t r, std::size_t c, std::uint64_t seed,
                 float zero_frac = 0.0f) {
@@ -48,7 +76,7 @@ TEST(GemmBlocked, MatchesNaiveOnOddShapes) {
     const Matrix b = rand_mat(s.k, s.n, /*seed=*/s.k * 77 + 5);
     Matrix want, got;
     gemm_naive(a, b, want);
-    gemm_blocked(a, b, got);
+    ops::gemm(a, b, got);
     EXPECT_EQ(want, got) << s.m << "x" << s.k << "x" << s.n;
   }
 }
@@ -62,7 +90,7 @@ TEST(GemmBlocked, MaskedRowsComputeOnlyListedRows) {
   const std::vector<std::uint32_t> rows = {0, 3, 4, 5, 11, 22};
   Matrix c(23, 19);
   c.fill(-7.0f);  // sentinel: untouched rows must keep it
-  gemm_blocked(a, b, c, rows);
+  ops::gemm(a, b, c, {.rows = rows});
   std::size_t next = 0;
   for (std::uint32_t r = 0; r < 23; ++r) {
     const bool listed = next < rows.size() && rows[next] == r;
@@ -83,12 +111,12 @@ TEST(GemmBlocked, ThreadCountSweepIsBitStable) {
   Matrix base;
   {
     ScopedGlobalThreadPool one(1);
-    gemm_blocked(a, b, base);
+    ops::gemm(a, b, base);
   }
   for (const std::size_t t : {std::size_t{2}, std::size_t{8}}) {
     ScopedGlobalThreadPool scoped(t);
     Matrix c;
-    gemm_blocked(a, b, c);
+    ops::gemm(a, b, c);
     EXPECT_EQ(base, c) << t << " threads";
   }
 }
@@ -97,12 +125,12 @@ TEST(GemmBlocked, CustomBlockingMatchesDefault) {
   const Matrix a = rand_mat(37, 95, 31);
   const Matrix b = rand_mat(95, 41, 32);
   Matrix want;
-  gemm_blocked(a, b, want);
+  ops::gemm(a, b, want);
   for (const GemmBlocking blk : {GemmBlocking{8, 16, 4},
                                  GemmBlocking{95, 41, 4},
                                  GemmBlocking{1, 1, 4}}) {
     Matrix got;
-    gemm_blocked(a, b, got, {}, blk);
+    ops::gemm(a, b, got, {.blocking = blk});
     EXPECT_EQ(want, got) << "kc=" << blk.kc << " nc=" << blk.nc;
   }
 }
@@ -292,6 +320,314 @@ TEST(AccelPipelining, PipelinedIsFasterAndKeepsInvariants) {
     EXPECT_GE(r->cycles.total, r->cycles.rnn);
     EXPECT_GE(r->cycles.total, r->cycles.memory);
   }
+}
+
+// ---------- kernel registry: introspection + ISA dispatch ----------
+
+TEST(KernelRegistry, IntrospectionListsOpsAndVariants) {
+  auto& reg = kernels::registry();
+  for (const char* op : {"gemm", "spmm", "vec"}) {
+    const std::vector<std::string> vs = reg.variants(op);
+    ASSERT_FALSE(vs.empty()) << op;
+    // The scalar reference is always registered and always eligible.
+    EXPECT_NE(std::find(vs.begin(), vs.end(), "scalar"), vs.end()) << op;
+    EXPECT_FALSE(reg.active(op).empty()) << op;
+  }
+  EXPECT_TRUE(reg.active("no-such-op").empty());
+  const auto pairs = reg.active_variants();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].first, "gemm");
+  EXPECT_EQ(pairs[1].first, "spmm");
+  EXPECT_EQ(pairs[2].first, "vec");
+}
+
+TEST(KernelRegistry, ForceIsaRejectsUnknownNames) {
+  std::string error;
+  EXPECT_FALSE(kernels::registry().force_isa("sse42", &error));
+  EXPECT_FALSE(error.empty());
+  // A failed force leaves the active selection untouched.
+  EXPECT_FALSE(kernels::registry().active("gemm").empty());
+}
+
+TEST(KernelRegistry, ForcedScalarServesScalarEverywhere) {
+  ScopedIsa scalar("scalar");
+  ASSERT_TRUE(scalar.ok) << scalar.error;
+  for (const char* op : {"gemm", "spmm", "vec"}) {
+    EXPECT_EQ(kernels::registry().active(op), "scalar") << op;
+  }
+  EXPECT_EQ(kernels::registry().active_isa(), kernels::Isa::kScalar);
+}
+
+// Every SIMD variant must be BIT-exact (memcmp, not epsilon) with the
+// scalar kernels across tiling boundaries, masked rows, accumulate
+// mode, and thread counts — TAGNN_KERNEL_ISA may never change results.
+TEST(KernelRegistry, IsaSweepIsBitExactOnOddShapes) {
+  if (!kernels::CpuFeatures::host().avx2) {
+    GTEST_SKIP() << "host has no AVX2; scalar is the only variant";
+  }
+  const struct { std::size_t m, k, n; } shapes[] = {
+      {1, 1, 1},  {3, 5, 7},   {4, 16, 16},   {17, 62, 33},
+      {5, 9, 23},  // k and n straddle the 8-lane vector width
+      {70, 130, 96}, {33, 520, 45}, {129, 100, 257},
+  };
+  for (const auto& s : shapes) {
+    const Matrix a = rand_mat(s.m, s.k, /*seed=*/s.m * 991 + s.n, 0.3f);
+    const Matrix b = rand_mat(s.k, s.n, /*seed=*/s.k * 13 + 1);
+    Matrix want, got;
+    {
+      ScopedIsa scalar("scalar");
+      ASSERT_TRUE(scalar.ok) << scalar.error;
+      ops::gemm(a, b, want);
+    }
+    {
+      ScopedIsa avx2("avx2");
+      ASSERT_TRUE(avx2.ok) << avx2.error;
+      ops::gemm(a, b, got);
+    }
+    EXPECT_TRUE(bytes_equal(want, got))
+        << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST(KernelRegistry, IsaSweepMaskedAccumulateAndThreads) {
+  if (!kernels::CpuFeatures::host().avx2) {
+    GTEST_SKIP() << "host has no AVX2; scalar is the only variant";
+  }
+  const Matrix a = rand_mat(37, 41, 51, 0.2f);
+  const Matrix b = rand_mat(41, 29, 52);
+  const std::vector<std::uint32_t> rows = {0, 1, 5, 6, 7, 19, 36};
+  auto run = [&](const char* cap, std::size_t threads) {
+    ScopedIsa isa(cap);
+    EXPECT_TRUE(isa.ok) << isa.error;
+    ScopedGlobalThreadPool pool(threads);
+    Matrix c(37, 29);
+    c.fill(0.25f);  // accumulate on top of a non-zero C
+    ops::gemm(a, b, c, {.rows = rows, .accumulate = true});
+    return c;
+  };
+  const Matrix want = run("scalar", 1);
+  for (const std::size_t t : {std::size_t{1}, std::size_t{2},
+                              std::size_t{8}}) {
+    EXPECT_TRUE(bytes_equal(want, run("scalar", t))) << "scalar/" << t;
+    EXPECT_TRUE(bytes_equal(want, run("avx2", t))) << "avx2/" << t;
+  }
+}
+
+TEST(KernelRegistry, IsaSweepSpmmBitExact) {
+  if (!kernels::CpuFeatures::host().avx2) {
+    GTEST_SKIP() << "host has no AVX2; scalar is the only variant";
+  }
+  SpmmFixture f;
+  auto run = [&](const char* cap) {
+    ScopedIsa isa(cap);
+    EXPECT_TRUE(isa.ok) << isa.error;
+    Matrix out(f.n, f.x.cols());
+    spmm_mean_csr(f.snap.graph.offsets(), f.snap.graph.neighbor_array(),
+                  f.snap.present, f.x, {}, out);
+    return out;
+  };
+  EXPECT_TRUE(bytes_equal(run("scalar"), run("avx2")));
+}
+
+// ---------- ops::gemm accumulate mode vs the gemv path ----------
+
+// The RNN batch path relies on this: prefilling C rows (bias) and
+// accumulating a masked GEMM on top reproduces the accumulate-mode
+// gemv exactly, row by row.
+TEST(GemmAccumulate, MatchesAccumulatingGemvPerRow) {
+  const Matrix a = rand_mat(19, 33, 61, 0.3f);
+  const Matrix b = rand_mat(33, 24, 62);
+  const Matrix bias = rand_mat(1, 24, 63);
+  const std::vector<std::uint32_t> rows = {2, 3, 4, 9, 18};
+
+  Matrix want(19, 24);
+  std::vector<float> wrow(24);
+  for (const std::uint32_t r : rows) {
+    std::copy(bias.row(0).begin(), bias.row(0).end(), wrow.begin());
+    ops::gemv(a.row(r), b, wrow, {.accumulate = true});
+    std::copy(wrow.begin(), wrow.end(), want.row(r).begin());
+  }
+
+  Matrix got(19, 24);
+  for (const std::uint32_t r : rows) {
+    std::copy(bias.row(0).begin(), bias.row(0).end(), got.row(r).begin());
+  }
+  ops::gemm(a, b, got, {.rows = rows, .accumulate = true});
+  for (const std::uint32_t r : rows) {
+    for (std::size_t j = 0; j < 24; ++j) {
+      EXPECT_EQ(want(r, j), got(r, j)) << "row " << r << " col " << j;
+    }
+  }
+}
+
+// ---------- batched RNN full updates vs the per-vertex path ----------
+
+TEST(RnnBatch, FullUpdateRowsMatchesPerVertex) {
+  for (const char* preset : {"T-GCN", "CD-GCN"}) {  // GRU and LSTM
+    const DgnnWeights w =
+        DgnnWeights::init(ModelConfig::preset(preset), 12, 7);
+    const RnnCell cell(w);
+    const std::size_t n = 31;
+    const Matrix z = rand_mat(n, cell.input_dim(), 71, 0.2f);
+    const Matrix h0 = rand_mat(n, cell.hidden(), 72);
+    const Matrix c0 = rand_mat(n, cell.cell_state_dim(), 73);
+    const Matrix cache0 = rand_mat(n, cell.cache_dim(), 74);
+    std::vector<VertexId> rows;
+    for (VertexId v = 0; v < n; v += 2) rows.push_back(v);
+
+    Matrix h_want = h0, c_want = c0, cache_want = cache0;
+    OpCounts counts_want;
+    for (const VertexId v : rows) {
+      cell.full_update(z.row(v), h_want.row(v), c_want.row(v),
+                       h_want.row(v), c_want.row(v), cache_want.row(v),
+                       counts_want);
+    }
+
+    Matrix h_got = h0, c_got = c0, cache_got = cache0;
+    OpCounts counts_got;
+    RnnBatchScratch ws;
+    cell.full_update_rows(z, rows, h_got, c_got, cache_got, ws, counts_got);
+
+    EXPECT_TRUE(h_want == h_got) << preset;
+    EXPECT_TRUE(c_want == c_got) << preset;
+    EXPECT_TRUE(cache_want == cache_got) << preset;
+    EXPECT_EQ(counts_want.macs, counts_got.macs) << preset;
+    EXPECT_EQ(counts_want.rnn_full, counts_got.rnn_full) << preset;
+    EXPECT_EQ(counts_want.feature_bytes, counts_got.feature_bytes) << preset;
+  }
+}
+
+// ---------- batched activation kernels ----------
+
+// The polynomial sigmoid/tanh must be bit-identical across ISAs (the
+// engine equivalence below depends on it) and within a few ulp of libm
+// over the whole gate input range, including the saturation clamps.
+TEST(IsaSweep, ActivationsBitExactAndNearLibm) {
+  std::vector<float> x;
+  for (float v = -30.0f; v <= 30.0f; v += 0.37f) x.push_back(v);
+  for (float v : {-200.0f, -88.5f, -1e-6f, 0.0f, 1e-6f, 88.5f, 200.0f}) {
+    x.push_back(v);
+  }
+  const std::size_t n = x.size();
+  std::vector<float> sig_s(n), tanh_s(n);
+  {
+    ScopedIsa isa("scalar");
+    ASSERT_TRUE(isa.ok) << isa.error;
+    const kernels::VecKernels vk = kernels::registry().vec();
+    vk.sigmoid_n(x.data(), n, sig_s.data());
+    vk.tanh_n(x.data(), n, tanh_s.data());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(sig_s[i], 1.0f / (1.0f + std::exp(-x[i])), 2e-7f)
+        << "sigmoid(" << x[i] << ")";
+    EXPECT_NEAR(tanh_s[i], std::tanh(x[i]), 4e-7f) << "tanh(" << x[i] << ")";
+  }
+  if (!kernels::CpuFeatures::host().avx2) {
+    GTEST_SKIP() << "host has no AVX2; scalar is the only variant";
+  }
+  std::vector<float> sig_v(n), tanh_v(n);
+  {
+    ScopedIsa isa("avx2");
+    ASSERT_TRUE(isa.ok) << isa.error;
+    const kernels::VecKernels vk = kernels::registry().vec();
+    vk.sigmoid_n(x.data(), n, sig_v.data());
+    vk.tanh_n(x.data(), n, tanh_v.data());
+  }
+  EXPECT_TRUE(bytes_equal(sig_s, sig_v));
+  EXPECT_TRUE(bytes_equal(tanh_s, tanh_v));
+}
+
+TEST(RnnBatch, DeltaUpdateRowsMatchesPerVertex) {
+  for (const char* preset : {"T-GCN", "CD-GCN"}) {  // GRU and LSTM
+    const DgnnWeights w =
+        DgnnWeights::init(ModelConfig::preset(preset), 12, 7);
+    const RnnCell cell(w);
+    const std::size_t n = 29;
+    // Dense delta rows with zero lanes sprinkled in (every third lane),
+    // as dense_delta would produce them.
+    Matrix dx = rand_mat(n, cell.input_dim(), 81, 0.1f);
+    Matrix dh = rand_mat(n, cell.hidden(), 82, 0.1f);
+    double total_nnz = 0;
+    for (Matrix* m : {&dx, &dh}) {
+      for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t j = 0; j < m->cols(); ++j) {
+          if (j % 3 == 1) (*m)(r, j) = 0.0f;
+        }
+      }
+    }
+    const Matrix h0 = rand_mat(n, cell.hidden(), 83);
+    const Matrix c0 = rand_mat(n, cell.cell_state_dim(), 84);
+    const Matrix cache0 = rand_mat(n, cell.cache_dim(), 85);
+    std::vector<VertexId> rows;
+    for (VertexId v = 0; v < n; v += 2) rows.push_back(v);
+    for (const VertexId v : rows) {
+      for (std::size_t j = 0; j < dx.cols(); ++j) {
+        total_nnz += dx(v, j) != 0.0f;
+      }
+      for (std::size_t j = 0; j < dh.cols(); ++j) {
+        total_nnz += dh(v, j) != 0.0f;
+      }
+    }
+
+    Matrix h_want = h0, c_want = c0, cache_want = cache0;
+    OpCounts counts_want;
+    for (const VertexId v : rows) {
+      cell.delta_update(dx.row(v), dh.row(v), h_want.row(v), c_want.row(v),
+                        h_want.row(v), c_want.row(v), cache_want.row(v),
+                        counts_want);
+    }
+
+    Matrix h_got = h0, c_got = c0, cache_got = cache0;
+    OpCounts counts_got;
+    RnnBatchScratch ws;
+    cell.delta_update_rows(dx, dh, rows, total_nnz, h_got, c_got, cache_got,
+                           ws, counts_got);
+
+    // The batch forms each lane sum before folding it onto the cache,
+    // so values match the per-lane fold only up to reassociation.
+    for (std::size_t i = 0; i < cache_want.size(); ++i) {
+      EXPECT_NEAR(cache_want.data()[i], cache_got.data()[i], 1e-4f)
+          << preset << " cache idx " << i;
+    }
+    for (std::size_t i = 0; i < h_want.size(); ++i) {
+      EXPECT_NEAR(h_want.data()[i], h_got.data()[i], 1e-4f)
+          << preset << " h idx " << i;
+    }
+    EXPECT_EQ(counts_want.macs, counts_got.macs) << preset;
+    EXPECT_EQ(counts_want.delta_nnz, counts_got.delta_nnz) << preset;
+    EXPECT_EQ(counts_want.rnn_delta, counts_got.rnn_delta) << preset;
+    EXPECT_EQ(counts_want.feature_bytes, counts_got.feature_bytes) << preset;
+  }
+}
+
+// ---------- forced-scalar engine equivalence ----------
+
+// The whole engine stack must produce value-identical outputs whichever
+// ISA serves the kernels — the CI forced-scalar leg runs the full test
+// suite under TAGNN_KERNEL_ISA=scalar and relies on this.
+TEST(KernelRegistry, EngineOutputsIsaIndependent) {
+  if (!kernels::CpuFeatures::host().avx2) {
+    GTEST_SKIP() << "host has no AVX2; scalar is the only variant";
+  }
+  const DynamicGraph g = datasets::load("GT", 0.25, 4);
+  const DgnnWeights w =
+      DgnnWeights::init(ModelConfig::preset("T-GCN"), g.feature_dim(), 3);
+  auto run = [&](const char* cap) {
+    ScopedIsa isa(cap);
+    EXPECT_TRUE(isa.ok) << isa.error;
+    EngineOptions opts;
+    opts.window_size = 2;
+    return ConcurrentEngine(opts).run(g, w);
+  };
+  const EngineResult rs = run("scalar");
+  const EngineResult rv = run("avx2");
+  ASSERT_EQ(rs.outputs.size(), rv.outputs.size());
+  for (std::size_t t = 0; t < rs.outputs.size(); ++t) {
+    EXPECT_TRUE(rs.outputs[t] == rv.outputs[t]) << "snapshot " << t;
+  }
+  EXPECT_TRUE(rs.final_hidden == rv.final_hidden);
+  EXPECT_EQ(rs.rnn_counts.rnn_skip, rv.rnn_counts.rnn_skip);
+  EXPECT_EQ(rs.gnn_counts.macs, rv.gnn_counts.macs);
 }
 
 }  // namespace

@@ -41,7 +41,7 @@ TEST(Gemm, MatchesHandComputedProduct) {
   float bv[] = {7, 8, 9, 10, 11, 12};
   std::copy(av, av + 6, a.data());
   std::copy(bv, bv + 6, b.data());
-  gemm(a, b, c);
+  ops::gemm(a, b, c);
   EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
   EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
   EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
@@ -50,7 +50,7 @@ TEST(Gemm, MatchesHandComputedProduct) {
 
 TEST(Gemm, ShapeMismatchThrows) {
   Matrix a(2, 3), b(2, 2), c;
-  EXPECT_THROW(gemm(a, b, c), std::logic_error);
+  EXPECT_THROW(ops::gemm(a, b, c), std::logic_error);
 }
 
 TEST(Gemm, IdentityIsNoop) {
@@ -58,7 +58,7 @@ TEST(Gemm, IdentityIsNoop) {
   const Matrix a = Matrix::random(7, 7, rng, 1.0f);
   Matrix eye(7, 7), c;
   for (std::size_t i = 0; i < 7; ++i) eye(i, i) = 1.0f;
-  gemm(a, eye, c);
+  ops::gemm(a, eye, c);
   EXPECT_LT(max_abs_diff(a, c), 1e-6f);
 }
 
@@ -67,7 +67,7 @@ TEST(Gemm, LargeParallelMatchesSerialReference) {
   const Matrix a = Matrix::random(150, 40, rng, 1.0f);
   const Matrix b = Matrix::random(40, 60, rng, 1.0f);
   Matrix c;
-  gemm(a, b, c);
+  ops::gemm(a, b, c);
   // Straightforward reference.
   for (std::size_t i = 0; i < 150; i += 37) {
     for (std::size_t j = 0; j < 60; j += 13) {
@@ -83,9 +83,9 @@ TEST(Gemv, MatchesGemmRow) {
   const Matrix w = Matrix::random(6, 4, rng, 1.0f);
   const Matrix x = Matrix::random(1, 6, rng, 1.0f);
   Matrix ref;
-  gemm(x, w, ref);
+  ops::gemm(x, w, ref);
   std::vector<float> out(4);
-  gemv(x.row(0), w, out);
+  ops::gemv(x.row(0), w, out);
   for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(out[j], ref(0, j), 1e-5);
 }
 

@@ -12,6 +12,13 @@ stable across machines:
   * speedup    — naive/optimised ratio per kernel. Regression when the
                  measured speedup drops below baseline * (1 - tolerance)
                  (default tolerance 0.15, i.e. a >15% relative drop).
+                 Baselines are keyed by the kernel ISA the result ran
+                 under (the doc-level "kernels" object bench_regress
+                 reports): a baseline entry may carry an optional
+                 "speedup_by_isa" map ({"scalar": x, "avx2": y}) whose
+                 entry for the result's gemm variant overrides the flat
+                 "speedup" floor, so a forced-scalar CI leg is gated
+                 against scalar expectations instead of AVX2 ones.
   * macs/bytes — deterministic workload fingerprints. Any mismatch
                  means the benchmark's workload changed and the baseline
                  must be refreshed (see docs/PERFORMANCE.md); reported
@@ -49,7 +56,11 @@ def load(path):
         entries[e["name"]] = e
     if not entries:
         sys.exit(f"bench_compare: {path}: no entries")
-    return entries
+    # The ISA variant the run's kernels dispatched to ("scalar" when the
+    # report predates the registry). gemm stands in for the whole table;
+    # the three ops always resolve to the same cap.
+    isa = doc.get("kernels", {}).get("gemm", "scalar")
+    return entries, isa
 
 
 def main():
@@ -62,8 +73,8 @@ def main():
                     help="allowed relative cycle increase (default 0.15)")
     args = ap.parse_args()
 
-    result = load(args.result)
-    baseline = load(args.baseline)
+    result, result_isa = load(args.result)
+    baseline, _ = load(args.baseline)
 
     failures = []
     rows = []
@@ -74,12 +85,14 @@ def main():
             rows.append((name, "MISSING", "", ""))
             continue
         status = "ok"
-        floor = base["speedup"] * (1.0 - args.tolerance)
+        base_speedup = base.get("speedup_by_isa", {}).get(
+            result_isa, base["speedup"])
+        floor = base_speedup * (1.0 - args.tolerance)
         if cur["speedup"] < floor:
             status = "SPEEDUP"
             failures.append(
                 f"{name}: speedup {cur['speedup']:.2f}x < floor "
-                f"{floor:.2f}x (baseline {base['speedup']:.2f}x, "
+                f"{floor:.2f}x ({result_isa} baseline {base_speedup:.2f}x, "
                 f"tolerance {args.tolerance:.0%})")
         for field in ("macs", "bytes"):
             if cur[field] != base[field]:
@@ -95,11 +108,12 @@ def main():
                 f"{name}: cycles {cur['cycles']:g} > ceiling {ceil:g} "
                 f"(baseline {base['cycles']:g})")
         rows.append((name, status, f"{cur['speedup']:.2f}x",
-                     f"{base['speedup']:.2f}x"))
+                     f"{base_speedup:.2f}x"))
 
     extra = sorted(set(result) - set(baseline))
 
     width = max(len(r[0]) for r in rows) if rows else 10
+    print(f"result kernels: {result_isa}")
     print(f"{'kernel':<{width}}  {'status':<8}  {'speedup':>8}  "
           f"{'baseline':>8}")
     for name, status, cur_s, base_s in rows:

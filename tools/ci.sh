@@ -118,6 +118,15 @@ bench_gate() {
     --ledger "$ledger" &&
   "$build_dir/tools/json_validate" "$out" &&
   python3 tools/bench_compare.py "$out" bench/baselines/quick.json || return 1
+  # Forced-scalar run, gated against the scalar-keyed floors in the
+  # baseline's speedup_by_isa map: structural wins (blocking, batching)
+  # must survive with SIMD off.
+  local out_scalar="$build_dir/BENCH_regress_scalar.json"
+  "$build_dir/bench/bench_regress" --quick --kernel-isa scalar \
+    --out "$out_scalar" &&
+  "$build_dir/tools/json_validate" "$out_scalar" &&
+  python3 tools/bench_compare.py "$out_scalar" \
+    bench/baselines/quick.json || return 1
   # Drift check vs a baseline-derived history (docs/DIAGNOSIS.md):
   # non-fatal by design — wall times vary across hosts, so a finding is
   # a prompt to look, not a gate. The detector itself is self-tested:
@@ -161,6 +170,13 @@ for preset in "${presets[@]}"; do
   step "[$preset] configure" cmake --preset "$preset"
   step "[$preset] build" cmake --build --preset "$preset" -j "$jobs"
   step "[$preset] test" ctest --preset "$preset" -j "$jobs"
+  if [ "$preset" = "default" ]; then
+    # Forced-scalar leg: the kernels are bit-exact across ISAs, so the
+    # whole suite must pass with dispatch capped at the portable
+    # variant. A failure here alone means an ISA path diverged.
+    step "[$preset] test (TAGNN_KERNEL_ISA=scalar)" \
+      env TAGNN_KERNEL_ISA=scalar ctest --preset "$preset" -j "$jobs"
+  fi
   step "[$preset] telemetry smoke" telemetry_smoke "$build_dir"
 done
 

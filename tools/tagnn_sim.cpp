@@ -35,6 +35,7 @@
 #include "obs/trace.hpp"
 #include "tagnn/accelerator.hpp"
 #include "tagnn/report.hpp"
+#include "tensor/kernel_registry.hpp"
 
 namespace {
 
@@ -49,6 +50,7 @@ struct Options {
   std::size_t snapshots = 8;
   TagnnConfig cfg;
   std::uint64_t seed = 42;
+  std::string kernel_isa;  // "" = auto (best supported)
   bool csv = false;
   bool json = false;
   bool self_check = false;
@@ -64,6 +66,7 @@ struct Options {
          "       [--format ocsr|csr|pma] [--no-oadl] [--no-adsc]\n"
          "       [--theta-s X] [--theta-e X]\n"
          "       [--engine accel|reference|concurrent] [--csv] [--seed N]\n"
+         "       [--kernel-isa scalar|avx2|auto]\n"
          "       [--self-check] [--json] [--report]\n"
       << obs::telemetry_usage();
   std::exit(2);
@@ -114,6 +117,8 @@ Options parse(int argc, char** argv) {
       o.cfg.thresholds.theta_e = static_cast<float>(std::atof(need(i).c_str()));
     } else if (a == "--seed") {
       o.seed = static_cast<std::uint64_t>(std::atoll(need(i).c_str()));
+    } else if (a == "--kernel-isa") {
+      o.kernel_isa = need(i);
     } else if (a == "--self-check") {
       o.self_check = true;
     } else if (a == "--csv") {
@@ -143,7 +148,8 @@ std::string config_canonical(const Options& o) {
     << ";theta_s=" << o.cfg.thresholds.theta_s
     << ";theta_e=" << o.cfg.thresholds.theta_e
     << ";clock_mhz=" << o.cfg.clock_mhz
-    << ";hbm_gbps=" << o.cfg.hbm.bandwidth_gbps;
+    << ";hbm_gbps=" << o.cfg.hbm.bandwidth_gbps
+    << ";isa=" << kernels::registry().active("gemm");
   return s.str();
 }
 
@@ -159,6 +165,11 @@ obs::analyze::RunRecord make_run_record(const Options& o,
 }
 
 int run_impl(const Options& o) {
+  if (!o.kernel_isa.empty()) {
+    std::string error;
+    TAGNN_CHECK_MSG(kernels::registry().force_isa(o.kernel_isa, &error),
+                    "--kernel-isa: " << error);
+  }
   if (o.self_check) set_invariant_check_level(2);
   const DynamicGraph g = [&] {
     obs::ScopedTrace span("load_dataset", "host");
@@ -210,7 +221,13 @@ int run_impl(const Options& o) {
       f << "{\n  \"schema\": \"tagnn.engine_report.v1\",\n"
         << "  \"workload\": \"" << json_escape(g.name() + "/" + o.model)
         << "\",\n  \"engine\": \"" << json_escape(o.engine)
-        << "\",\n  \"macs\": " << c.macs
+        << "\",\n  \"kernels\": {";
+      const auto variants = kernels::registry().active_variants();
+      for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        f << (vi == 0 ? "" : ", ") << '"' << variants[vi].first
+          << "\": \"" << variants[vi].second << '"';
+      }
+      f << "},\n  \"macs\": " << c.macs
         << ",\n  \"bytes\": " << c.total_bytes()
         << ",\n  \"redundant_bytes\": " << c.redundant_bytes
         << ",\n  \"seconds\": " << r.seconds.total() << "\n}\n";
