@@ -1,0 +1,23 @@
+#include "common/metrics_sink.hpp"
+
+#include <atomic>
+
+namespace tagnn {
+namespace {
+
+std::atomic<MetricsSink*>& sink_cell() noexcept {
+  static std::atomic<MetricsSink*> cell{nullptr};
+  return cell;
+}
+
+}  // namespace
+
+MetricsSink* metrics_sink() noexcept {
+  return sink_cell().load(std::memory_order_acquire);
+}
+
+void install_metrics_sink(MetricsSink* sink) noexcept {
+  sink_cell().store(sink, std::memory_order_release);
+}
+
+}  // namespace tagnn

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/metrics_sink.hpp"
 #include "common/stopwatch.hpp"
-#include "obs/metrics.hpp"
 
 namespace tagnn {
 namespace {
@@ -12,28 +12,37 @@ namespace {
 std::atomic<ThreadPool*> g_pool_override{nullptr};
 
 // Pool observability (docs/OBSERVABILITY.md): chunk-granular, so the
-// per-iteration hot loop inside fn is never touched. MetricIds are
-// resolved once; each event costs one relaxed-load gate plus a couple
-// of relaxed atomic ops in a thread-local shard.
+// per-iteration hot loop inside fn is never touched. Instrumentation
+// goes through the MetricsSink indirection (common/ must not include
+// obs/ — tools/layering.toml); handles are resolved once, and each
+// event costs the sink gate plus one virtual call into the registry's
+// thread-local shard.
 struct PoolMetrics {
-  obs::MetricId queue_depth;
-  obs::MetricId queue_depth_high_water;
-  obs::MetricId tasks_executed;
-  obs::MetricId busy_seconds;
+  std::uint64_t queue_depth;
+  std::uint64_t queue_depth_high_water;
+  std::uint64_t tasks_executed;
+  std::uint64_t busy_seconds;
 
-  static const PoolMetrics& get() {
-    static const PoolMetrics m = [] {
-      auto& reg = obs::MetricsRegistry::global();
+  // Caller has already checked the sink is installed; the sink is
+  // installed at most once per process, so caching handles is safe.
+  static const PoolMetrics& get(MetricsSink& sink) {
+    static const PoolMetrics m = [&sink] {
       return PoolMetrics{
-          reg.gauge("tagnn.pool.queue_depth"),
-          reg.gauge("tagnn.pool.queue_depth_high_water"),
-          reg.counter("tagnn.pool.tasks_executed"),
-          reg.histogram("tagnn.pool.worker_busy_seconds"),
+          sink.resolve_gauge("tagnn.pool.queue_depth"),
+          sink.resolve_gauge("tagnn.pool.queue_depth_high_water"),
+          sink.resolve_counter("tagnn.pool.tasks_executed"),
+          sink.resolve_histogram("tagnn.pool.worker_busy_seconds"),
       };
     }();
     return m;
   }
 };
+
+// The sink when pool events should be recorded, else nullptr.
+MetricsSink* pool_sink() {
+  MetricsSink* s = metrics_sink();
+  return (s != nullptr && s->enabled()) ? s : nullptr;
+}
 
 }  // namespace
 
@@ -77,7 +86,7 @@ bool ThreadPool::run_one_chunk(Task& task, std::unique_lock<std::mutex>& lock) {
   const auto* fn = task.fn;
   lock.unlock();
 
-  const bool telemetry = obs::telemetry_enabled();
+  MetricsSink* sink = pool_sink();
   Stopwatch busy;
   std::exception_ptr error;
   try {
@@ -85,11 +94,10 @@ bool ThreadPool::run_one_chunk(Task& task, std::unique_lock<std::mutex>& lock) {
   } catch (...) {
     error = std::current_exception();
   }
-  if (telemetry) {
-    auto& reg = obs::MetricsRegistry::global();
-    const PoolMetrics& m = PoolMetrics::get();
-    reg.add(m.tasks_executed);
-    reg.record(m.busy_seconds, busy.seconds());
+  if (sink != nullptr) {
+    const PoolMetrics& m = PoolMetrics::get(*sink);
+    sink->add(m.tasks_executed, 1);
+    sink->record(m.busy_seconds, busy.seconds());
   }
 
   lock.lock();
@@ -133,12 +141,11 @@ void ThreadPool::parallel_for(
   task.next = begin;
   task.pending = (n + task.chunk - 1) / task.chunk;
 
-  if (obs::telemetry_enabled()) {
-    auto& reg = obs::MetricsRegistry::global();
-    const PoolMetrics& m = PoolMetrics::get();
-    reg.set(m.queue_depth, static_cast<double>(task.pending));
-    reg.set_max(m.queue_depth_high_water,
-                static_cast<double>(task.pending));
+  if (MetricsSink* sink = pool_sink()) {
+    const PoolMetrics& m = PoolMetrics::get(*sink);
+    sink->set(m.queue_depth, static_cast<double>(task.pending));
+    sink->set_max(m.queue_depth_high_water,
+                  static_cast<double>(task.pending));
   }
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -147,8 +154,8 @@ void ThreadPool::parallel_for(
   while (run_one_chunk(task, lock)) {
   }
   cv_done_.wait(lock, [&] { return task.pending == 0; });
-  if (obs::telemetry_enabled()) {
-    obs::MetricsRegistry::global().set(PoolMetrics::get().queue_depth, 0.0);
+  if (MetricsSink* sink = pool_sink()) {
+    sink->set(PoolMetrics::get(*sink).queue_depth, 0.0);
   }
   if (task_ == &task) task_ = nullptr;
   lock.unlock();

@@ -1,0 +1,133 @@
+// tagnn_lint: repo-aware static analysis for the invariants that keep
+// the kernels bit-exact and the layer stack acyclic.
+//
+// PR 6 made engine outputs bit-exact across ISAs by convention — no
+// FMA, no libm in kernels, ascending-k accumulation, -ffp-contract=off
+// on SIMD TUs. This checker turns those conventions (plus the layering
+// and determinism rules that keep the simulator reproducible) into
+// machine-checked rules over the compile database. It deliberately
+// works on a token stream, not an AST: every rule here is lexically
+// decidable, and a tokenizer keeps the checker dependency-free, fast
+// enough for a ctest, and trivially testable against golden fixtures.
+//
+// Rule families (full catalogue with rationale: docs/STATIC_ANALYSIS.md):
+//   layering-*     include edges must follow tools/layering.toml
+//   hotpath-*      no libm / allocation / locks in kernel TUs
+//   bitexact-*     no FMA anywhere, -ffp-contract=off on SIMD TUs,
+//                  shared accumulation-order tags on kernel variants
+//   determinism-*  no entropy or wall-clock reads outside the allowlist
+//   suppression-*  inline suppressions must carry a reason
+//
+// Inline suppression syntax (counted and reported, never silent):
+//   // tagnn-lint: allow(<rule>[, <rule>...]) -- <reason>       (line + next line)
+//   // tagnn-lint: allow-file(<rule>[, ...]) -- <reason>        (whole file)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tagnn::obs::analyze::lint {
+
+inline constexpr std::string_view kLintSchema = "tagnn.lint.v1";
+
+struct Finding {
+  std::string rule;
+  std::string file;  // repo-relative, '/'-separated
+  int line = 0;      // 1-based; 0 = whole-TU (compile-command rules)
+  std::string message;
+  std::string reason;  // suppression reason (suppressed findings only)
+};
+
+struct Suppression {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  bool file_scope = false;
+  std::string reason;
+  bool used = false;
+};
+
+/// One layer from the manifest. A file belongs to the first layer whose
+/// `path` is a directory prefix of it; it may include its own layer and
+/// any layer named in `allow`.
+struct LayerSpec {
+  std::string name;
+  std::string path;                // e.g. "src/tensor"
+  std::vector<std::string> allow;  // layer names
+};
+
+struct LintConfig {
+  std::vector<LayerSpec> layers;
+  std::vector<std::string> hotpath_paths;      // exact repo-relative files
+  std::vector<std::string> determinism_allow;  // path prefixes
+};
+
+/// Parses the tools/layering.toml manifest (a small TOML subset:
+/// [sections], key = "string" / ["list"], # comments). Validates that
+/// every allow edge names a declared layer.
+bool parse_manifest(std::string_view text, LintConfig* out,
+                    std::string* error);
+
+/// Everything extracted from one file's text.
+struct FileScan {
+  std::vector<Finding> findings;    // active violations
+  std::vector<Finding> suppressed;  // violations covered by a suppression
+  std::vector<Suppression> suppressions;
+  // Accumulation-order contract (bitexact-accum-tag): set when the file
+  // registers FP-accumulating kernel variants (.register_gemm /
+  // .register_spmm) resp. carries a "tagnn-accum-order: <tag>" comment.
+  bool registers_fp_kernels = false;
+  int register_line = 0;
+  std::string accum_tag;
+};
+
+/// Token-level rules over one file. `path` decides rule scope (layer
+/// membership, hot-path set, determinism allowlist).
+FileScan scan_source(const std::string& path, std::string_view content,
+                     const LintConfig& cfg);
+
+/// Compile-command rules (bitexact-contract) for one TU.
+std::vector<Finding> lint_command(const std::string& path,
+                                  const std::vector<std::string>& args);
+
+/// Splits a compile_commands.json "command" string into argv, honoring
+/// quotes and backslash escapes.
+std::vector<std::string> split_command(std::string_view command);
+
+/// Cross-file accumulation-order check over (path, scan) pairs: every
+/// registering TU needs a tag, and all tags must agree.
+std::vector<Finding> check_accum_tags(
+    const std::vector<std::pair<std::string, FileScan>>& scans);
+
+struct LintReport {
+  std::vector<Finding> findings;
+  std::vector<Finding> suppressed;
+  std::vector<Suppression> suppressions;
+  std::vector<std::string> errors;  // unreadable files, bad DB entries
+  std::size_t files_scanned = 0;
+};
+
+/// Full run: parse the compile DB at `db_path`, scan every first-party
+/// TU it lists (under src/, tools/, tests/, bench/, examples/ relative
+/// to `root`), walk src/ for headers the DB does not list, apply the
+/// compile-command rules per entry and the cross-TU checks. Returns
+/// false only on a hard error (unreadable/malformed DB); per-file
+/// problems land in report->errors.
+bool lint_repo(const std::string& db_path, const std::string& root,
+               const LintConfig& cfg, LintReport* out, std::string* error);
+
+/// tagnn.lint.v1 findings document (always valid JSON; see
+/// tools/json_validate).
+void write_report_json(std::ostream& os, const LintReport& report,
+                       std::string_view db_path);
+
+/// GitHub Actions ::error annotations, one per active finding.
+void write_github_annotations(std::ostream& os, const LintReport& report);
+
+/// All rule identifiers, for allow() validation and the JSON rules map.
+const std::vector<std::string>& known_rules();
+
+}  // namespace tagnn::obs::analyze::lint

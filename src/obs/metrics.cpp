@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/metrics_sink.hpp"
 #include "obs/jsonv.hpp"
 
 namespace tagnn::obs {
@@ -496,5 +497,67 @@ MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry* r = new MetricsRegistry();
   return *r;
 }
+
+namespace {
+
+// Bridges common/'s MetricsSink indirection onto the global registry,
+// so the layers below obs/ (thread pool, kernel registry) can publish
+// without an upward include (tools/layering.toml). Handles pack a
+// MetricId's kind and index into one word.
+class RegistrySink final : public MetricsSink {
+ public:
+  bool enabled() const override { return telemetry_enabled(); }
+
+  std::uint64_t resolve_counter(const char* name) override {
+    return encode(MetricsRegistry::global().counter(name));
+  }
+  std::uint64_t resolve_gauge(const char* name) override {
+    return encode(MetricsRegistry::global().gauge(name));
+  }
+  std::uint64_t resolve_histogram(const char* name) override {
+    return encode(MetricsRegistry::global().histogram(name));
+  }
+
+  void add(std::uint64_t h, std::uint64_t delta) override {
+    MetricsRegistry::global().add(decode(h), delta);
+  }
+  void set(std::uint64_t h, double v) override {
+    MetricsRegistry::global().set(decode(h), v);
+  }
+  void set_max(std::uint64_t h, double v) override {
+    MetricsRegistry::global().set_max(decode(h), v);
+  }
+  void record(std::uint64_t h, double v) override {
+    MetricsRegistry::global().record(decode(h), v);
+  }
+
+  void gauge_set(const char* name, double v) override {
+    if (telemetry_enabled()) MetricsRegistry::global().set(name, v);
+  }
+
+ private:
+  static std::uint64_t encode(MetricId id) {
+    return (static_cast<std::uint64_t>(id.kind) << 32) | id.index;
+  }
+  static MetricId decode(std::uint64_t h) {
+    MetricId id;
+    id.index = static_cast<std::uint32_t>(h & 0xffffffffu);
+    id.kind = static_cast<MetricKind>(h >> 32);
+    return id;
+  }
+};
+
+RegistrySink g_registry_sink;
+
+// Installed during static initialization of any binary that links the
+// telemetry library and references this TU (every metrics consumer
+// does); binaries without obs/ simply leave the sink null and the
+// lower layers' instrumentation no-ops.
+struct RegistrySinkInstaller {
+  RegistrySinkInstaller() { install_metrics_sink(&g_registry_sink); }
+};
+RegistrySinkInstaller g_registry_sink_installer;
+
+}  // namespace
 
 }  // namespace tagnn::obs

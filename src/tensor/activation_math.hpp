@@ -21,6 +21,7 @@
 #pragma once
 
 #include <bit>
+// tagnn-lint: allow(hotpath-libm) -- std::nearbyintf is the scalar rounding primitive the AVX2 kernel mirrors with _mm256_round_ps; no transcendental libm entry points are used
 #include <cmath>
 #include <cstdint>
 

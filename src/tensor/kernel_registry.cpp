@@ -1,3 +1,11 @@
+// tagnn_lint hot-path purity scope covers this TU, with two documented
+// exceptions (docs/STATIC_ANALYSIS.md): everything that allocates or
+// locks here runs once at startup (registration, resolve) or on an
+// explicit config change (force_isa, variant queries); the dispatch
+// path itself only reads the pre-resolved tables through one relaxed
+// atomic load.
+// tagnn-lint: allow-file(hotpath-alloc) -- registration and variant queries run once at startup or on explicit config change, never on the dispatch path
+// tagnn-lint: allow-file(hotpath-lock) -- force_mutex serialises rare force_isa calls; dispatch reads are lock-free
 #include "tensor/kernel_registry.hpp"
 
 #include <algorithm>
@@ -5,7 +13,7 @@
 #include <mutex>
 
 #include "common/check.hpp"
-#include "obs/metrics.hpp"
+#include "common/metrics_sink.hpp"
 #include "tensor/kernels_registration.hpp"
 
 namespace tagnn::kernels {
@@ -207,18 +215,23 @@ bool KernelRegistry::force_isa(std::string_view isa_or_auto,
 
 // Numeric ISA codes per op (the metrics registry holds numbers only;
 // the variant *names* go into the report JSON's "kernels" object).
+// Published through the MetricsSink indirection: tensor/ sits below
+// obs/ in the layer stack (tools/layering.toml) and must not include
+// it; the sink is null when no telemetry layer is linked.
 void KernelRegistry::record_metrics() const {
-  obs::gauge_set("tagnn.kernels.isa",
-                 static_cast<double>(static_cast<int>(active_isa())));
+  MetricsSink* sink = metrics_sink();
+  if (sink == nullptr) return;
+  sink->gauge_set("tagnn.kernels.isa",
+                  static_cast<double>(static_cast<int>(active_isa())));
   const OpTables& t = table(active_isa());
   auto code = [](const std::string& name) {
     Isa isa;
     return parse_isa(name, isa) ? static_cast<double>(static_cast<int>(isa))
                                 : -1.0;
   };
-  obs::gauge_set("tagnn.kernels.gemm.isa", code(t.gemm_name));
-  obs::gauge_set("tagnn.kernels.spmm.isa", code(t.spmm_name));
-  obs::gauge_set("tagnn.kernels.vec.isa", code(t.vec_name));
+  sink->gauge_set("tagnn.kernels.gemm.isa", code(t.gemm_name));
+  sink->gauge_set("tagnn.kernels.spmm.isa", code(t.spmm_name));
+  sink->gauge_set("tagnn.kernels.vec.isa", code(t.vec_name));
 }
 
 }  // namespace tagnn::kernels

@@ -276,6 +276,10 @@ void tanh_n(const float* x, std::size_t n, float* out) {
 
 }  // namespace
 
+// tagnn-accum-order: ascending-k
+// Same per-element accumulation order as the scalar kernels: k terms in
+// ascending index order, lanes independent (tagnn_lint cross-checks
+// this tag against every other registering TU).
 void register_avx2_kernels(KernelRegistry& r) {
   GemmMicroKernels gemm;
   gemm.micro_1row = micro_1row;

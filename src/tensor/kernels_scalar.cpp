@@ -151,6 +151,10 @@ void tanh_n(const float* x, std::size_t n, float* out) {
 
 }  // namespace
 
+// tagnn-accum-order: ascending-k
+// Every kernel variant registered here accumulates k terms in ascending
+// index order; AVX2 mirrors the same order across 8 lanes, so outputs
+// are bit-identical (tagnn_lint checks the tag matches across TUs).
 void register_scalar_kernels(KernelRegistry& r) {
   GemmMicroKernels gemm;
   gemm.micro_1row = micro_1row;

@@ -1,0 +1,12 @@
+// Golden fixture: kernel registration WITHOUT the accumulation-order
+// tag. check_accum_tags must flag it.
+#include "tensor/kernel_registry.hpp"
+
+namespace tagnn {
+
+void register_untagged_kernels(KernelRegistry& r) {
+  SpmmMicroKernels spmm;
+  r.register_spmm("fixture", Isa::kScalar, 0, spmm);
+}
+
+}  // namespace tagnn

@@ -1,0 +1,12 @@
+// Golden fixture: kernel registration with the accumulation-order tag.
+#include "tensor/kernel_registry.hpp"
+
+namespace tagnn {
+
+// tagnn-accum-order: ascending-k
+void register_fixture_kernels(KernelRegistry& r) {
+  GemmMicroKernels gemm;
+  r.register_gemm("fixture", Isa::kScalar, 0, gemm);
+}
+
+}  // namespace tagnn

@@ -1,0 +1,18 @@
+// Golden fixture: fused multiply-add. Expects bitexact-fma findings
+// for std::fma and for the _mm256_fmadd_ps intrinsic. (Fixtures are
+// scanned as text, never compiled, so the bare intrinsic is fine.)
+#include <cmath>
+#include <immintrin.h>
+
+namespace tagnn {
+
+float fma_fixture(float a, float b, float c) {
+  float r = std::fma(a, b, c);
+  __m256 va = _mm256_set1_ps(a);
+  __m256 vb = _mm256_set1_ps(b);
+  __m256 vc = _mm256_set1_ps(c);
+  __m256 fused = _mm256_fmadd_ps(va, vb, vc);
+  return r + _mm256_cvtss_f32(fused);
+}
+
+}  // namespace tagnn

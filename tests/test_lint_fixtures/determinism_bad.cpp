@@ -1,0 +1,18 @@
+// Golden fixture: ambient entropy and wall-clock reads in simulator
+// code. Expects determinism-entropy (rand, random_device) and
+// determinism-clock (steady_clock) findings.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace tagnn {
+
+double jitter_fixture() {
+  std::random_device rd;
+  const int r = rand();
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(r + static_cast<int>(rd())) +
+         static_cast<double>(t.time_since_epoch().count());
+}
+
+}  // namespace tagnn

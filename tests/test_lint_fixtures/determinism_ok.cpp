@@ -1,0 +1,16 @@
+// Golden fixture: deterministic code — explicit seed, declaration of a
+// function named random (not a call of the libc one), time as data.
+#include "common/rng.hpp"
+
+namespace tagnn {
+
+struct FixtureSampler {
+  // A *declaration* whose name collides with libc must not trigger.
+  static float random(Rng& rng);
+};
+
+float sample_fixture(Rng& rng, long virtual_time) {
+  return FixtureSampler::random(rng) + static_cast<float>(virtual_time);
+}
+
+}  // namespace tagnn

@@ -1,0 +1,15 @@
+// Golden fixture: allocation in a hot-path TU. Expects three
+// hotpath-alloc findings: operator new, malloc, and push_back.
+#include <vector>
+
+namespace tagnn {
+
+float* alloc_fixture(std::vector<float>& v, int n) {
+  float* heap = new float[16];
+  void* raw = malloc(static_cast<unsigned long>(n));
+  v.push_back(1.0f);
+  static_cast<void>(raw);
+  return heap;
+}
+
+}  // namespace tagnn

@@ -1,0 +1,11 @@
+// Golden fixture: libm in a hot-path TU. Expects two hotpath-libm
+// findings: the <cmath> include and the expf call.
+#include <cmath>
+
+namespace tagnn {
+
+float sigmoid_fixture(float x) {
+  return 1.0f / (1.0f + expf(-x));
+}
+
+}  // namespace tagnn

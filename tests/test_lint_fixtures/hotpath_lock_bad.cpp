@@ -1,0 +1,16 @@
+// Golden fixture: locking in a hot-path TU. Expects hotpath-lock
+// findings for the mutex member and the lock_guard.
+#include <mutex>
+
+namespace tagnn {
+
+struct LockedAccum {
+  std::mutex mu;
+  float total = 0.0f;
+  void add(float v) {
+    std::lock_guard<std::mutex> hold(mu);
+    total = total + v;
+  }
+};
+
+}  // namespace tagnn

@@ -1,0 +1,17 @@
+// Golden fixture: a clean hot-path kernel TU. Scanned as
+// src/tensor/kernels_scalar.cpp — must produce zero findings.
+#include "common/check.hpp"
+#include "tensor/kernel_registry.hpp"
+
+namespace tagnn {
+
+// Fixed-count loop over caller-owned buffers: no allocation, no libm,
+// no locks, separate multiply and add.
+void axpy_fixture(float a, const float* x, float* y, int n) {
+  for (int i = 0; i < n; ++i) {
+    const float prod = a * x[i];
+    y[i] = y[i] + prod;
+  }
+}
+
+}  // namespace tagnn

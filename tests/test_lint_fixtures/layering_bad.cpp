@@ -1,0 +1,11 @@
+// Golden fixture: illegal upward include edges. Scanned as a
+// tensor-layer file; tensor must not reach nn or obs.
+#include "common/check.hpp"
+#include "nn/gcn.hpp"
+#include "obs/metrics.hpp"
+
+namespace tagnn {
+
+int layering_bad_fixture() { return 0; }
+
+}  // namespace tagnn

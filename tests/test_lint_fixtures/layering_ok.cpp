@@ -1,0 +1,10 @@
+// Golden fixture: legal include edges. Scanned as a tensor-layer file;
+// tensor may include itself and common.
+#include "common/check.hpp"
+#include "tensor/matrix.hpp"
+
+namespace tagnn {
+
+int layering_ok_fixture() { return 0; }
+
+}  // namespace tagnn

@@ -1,0 +1,16 @@
+// Golden fixture: suppressions that do not carry a '-- reason' are
+// rejected — they produce suppression-format findings and do NOT
+// silence the underlying violation.
+#include <cstdlib>
+
+namespace tagnn {
+
+int unexplained_fixture() {
+  // tagnn-lint: allow(determinism-entropy)
+  const int a = rand();
+  // tagnn-lint: allow(determinism-entropy) --
+  const int b = rand();
+  return a + b;
+}
+
+}  // namespace tagnn

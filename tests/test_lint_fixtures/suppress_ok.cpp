@@ -1,0 +1,13 @@
+// Golden fixture: a violation covered by a well-formed suppression
+// with a reason. The finding must land in `suppressed`, not
+// `findings`, and the suppression must be marked used.
+#include <cstdlib>
+
+namespace tagnn {
+
+int seeded_shuffle_fixture() {
+  // tagnn-lint: allow(determinism-entropy) -- fixture exercising the suppression path; reason text is load-bearing
+  return rand();
+}
+
+}  // namespace tagnn

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Full correctness pipeline: builds and tests the default, asan-ubsan,
-# and tsan presets (all with -Werror), runs the bench-regression gate,
-# then clang-tidy via tools/lint.sh. Any warning, test failure,
-# sanitizer report, bench regression, or lint finding fails the script.
+# and tsan presets (all with -Werror), runs the tagnn_lint invariants
+# checker plus its negative self-test, the bench-regression gate, then
+# clang-tidy via tools/lint.sh. Any warning, test failure, sanitizer
+# report, bench regression, or lint finding fails the script.
 #
 # Usage: tools/ci.sh [--fast]
-#   --fast   default preset only (skip sanitizer builds, bench gate, lint)
+#   --fast   default preset only (skip sanitizer builds, bench gate,
+#            clang-tidy; tagnn_lint still runs — it is sub-second)
 #
 # Every step runs through `step`, which records wall time and the exact
 # failing step; the EXIT trap prints a timing summary either way and the
@@ -164,6 +166,59 @@ print("drift self-test: injected 2x slowdown flagged as expected")
 EOF
 }
 
+lint_selftest() {
+  # Negative self-test for tagnn_lint: inject a repo with one violation
+  # per rule family and require the checker to see every one of them
+  # (exit 2 = findings; exit 0 here would mean the gate is blind).
+  # Same errexit caveat as telemetry_smoke: chain statuses explicitly.
+  local build_dir="$1"
+  local dir
+  dir="$(mktemp -d)" || return 1
+  mkdir -p "$dir/tools" "$dir/src/tensor" || return 1
+  cat > "$dir/tools/layering.toml" <<'EOF' || return 1
+[layer.common]
+path = "src/common"
+allow = []
+[layer.tensor]
+path = "src/tensor"
+allow = ["common"]
+[layer.nn]
+path = "src/nn"
+allow = ["common", "tensor"]
+[hotpath]
+paths = ["src/tensor/bad.cpp"]
+[determinism]
+allow = []
+EOF
+  cat > "$dir/src/tensor/bad.cpp" <<'EOF' || return 1
+#include "nn/gcn.hpp"
+float f(float x) { return expf(x) + _mm256_cvtss_f32(
+    _mm256_fmadd_ps(a, b, c)) + (float)rand(); }
+EOF
+  cat > "$dir/compile_commands.json" <<EOF || return 1
+[{"directory": "$dir", "file": "src/tensor/bad.cpp",
+  "command": "g++ -mavx2 -c src/tensor/bad.cpp"}]
+EOF
+  local rc=0
+  "$build_dir/tools/tagnn_lint" --db "$dir/compile_commands.json" \
+    --root "$dir" --out "$dir/lint.json" > /dev/null 2> /dev/null || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "lint self-test: expected exit 2 on injected violations, got $rc" >&2
+    return 1
+  fi
+  # Every injected rule family must be present in the findings doc.
+  local rule
+  for rule in layering-include hotpath-libm bitexact-fma \
+              bitexact-contract determinism-entropy; do
+    if ! grep -q "\"rule\": \"$rule\"" "$dir/lint.json"; then
+      echo "lint self-test: injected $rule violation not flagged" >&2
+      return 1
+    fi
+  done
+  rm -rf "$dir"
+  echo "lint self-test: injected violations flagged as expected"
+}
+
 for preset in "${presets[@]}"; do
   build_dir="build"
   [ "$preset" != "default" ] && build_dir="build-$preset"
@@ -179,6 +234,13 @@ for preset in "${presets[@]}"; do
   fi
   step "[$preset] telemetry smoke" telemetry_smoke "$build_dir"
 done
+
+# The invariants checker is sub-second, so it runs even in --fast mode;
+# its negative self-test keeps the gate itself honest.
+step "tagnn_lint" build/tools/tagnn_lint \
+  --db build/compile_commands.json --root "$repo_root" \
+  --out build/tagnn_lint.json
+step "tagnn_lint self-test" lint_selftest build
 
 if [ "$fast" -eq 0 ]; then
   step "bench gate" bench_gate build

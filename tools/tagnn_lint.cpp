@@ -1,0 +1,136 @@
+// tagnn_lint CLI: run the repo invariants checker over a compile
+// database and emit a tagnn.lint.v1 findings document.
+//
+//   tagnn_lint --db build/compile_commands.json [--root .]
+//              [--manifest tools/layering.toml] [--out lint.json]
+//              [--github] [--list-rules]
+//
+// Exit codes: 0 clean, 1 usage / hard error (unreadable DB or
+// manifest), 2 findings present. CI treats both 1 and 2 as failure;
+// the split lets the negative self-test distinguish "the checker saw
+// the violation" from "the checker itself broke".
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/analyze/lint.hpp"
+
+namespace lint = tagnn::obs::analyze::lint;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --db <compile_commands.json> [--root <dir>]\n"
+               "       [--manifest <layering.toml>] [--out <report.json>]\n"
+               "       [--github] [--list-rules]\n";
+  return 1;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db, root = ".", manifest, out_path;
+  bool github = false, list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&](std::string* dst) {
+      if (i + 1 >= argc) return false;
+      *dst = argv[++i];
+      return true;
+    };
+    if (a == "--db") {
+      if (!value(&db)) return usage(argv[0]);
+    } else if (a == "--root") {
+      if (!value(&root)) return usage(argv[0]);
+    } else if (a == "--manifest") {
+      if (!value(&manifest)) return usage(argv[0]);
+    } else if (a == "--out") {
+      if (!value(&out_path)) return usage(argv[0]);
+    } else if (a == "--github") {
+      github = true;
+    } else if (a == "--list-rules") {
+      list_rules = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "tagnn_lint: unknown argument '" << a << "'\n";
+      return usage(argv[0]);
+    }
+  }
+  if (list_rules) {
+    for (const std::string& r : lint::known_rules()) std::cout << r << "\n";
+    return 0;
+  }
+  if (db.empty()) return usage(argv[0]);
+  // The compile DB holds absolute paths, so the root must be absolute
+  // too or no TU would ever match it.
+  std::error_code ec;
+  const auto abs_root =
+      std::filesystem::absolute(root, ec).lexically_normal();
+  if (!ec) root = abs_root.string();
+  while (root.size() > 1 && root.back() == '/') root.pop_back();
+  if (manifest.empty()) manifest = root + "/tools/layering.toml";
+  if (const char* gh = std::getenv("GITHUB_ACTIONS");
+      gh != nullptr && std::strcmp(gh, "true") == 0) {
+    github = true;
+  }
+
+  std::string manifest_text;
+  if (!read_file(manifest, &manifest_text)) {
+    std::cerr << "tagnn_lint: cannot read manifest " << manifest << "\n";
+    return 1;
+  }
+  lint::LintConfig cfg;
+  std::string err;
+  if (!lint::parse_manifest(manifest_text, &cfg, &err)) {
+    std::cerr << "tagnn_lint: " << manifest << ": " << err << "\n";
+    return 1;
+  }
+
+  lint::LintReport rep;
+  if (!lint::lint_repo(db, root, cfg, &rep, &err)) {
+    std::cerr << "tagnn_lint: " << err << "\n";
+    return 1;
+  }
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "tagnn_lint: cannot write " << out_path << "\n";
+      return 1;
+    }
+    lint::write_report_json(out, rep, db);
+  } else {
+    lint::write_report_json(std::cout, rep, db);
+  }
+
+  for (const lint::Finding& f : rep.findings) {
+    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+  for (const std::string& e : rep.errors) {
+    std::cerr << "tagnn_lint: warning: " << e << "\n";
+  }
+  if (github) lint::write_github_annotations(std::cerr, rep);
+
+  std::cerr << "tagnn_lint: " << rep.files_scanned << " files, "
+            << rep.findings.size() << " findings, " << rep.suppressed.size()
+            << " suppressed (" << rep.suppressions.size()
+            << " suppressions)\n";
+  return rep.findings.empty() ? 0 : 2;
+}
