@@ -22,6 +22,8 @@
 #include "common/thread_pool.hpp"
 #include "tensor/kernel_registry.hpp"
 #include "obs/analyze/ledger.hpp"
+#include "obs/live/sampler.hpp"
+#include "obs/telemetry.hpp"
 #include "nn/gcn.hpp"
 #include "tagnn/accelerator.hpp"
 #include "tensor/ops.hpp"
@@ -215,6 +217,65 @@ Entry bench_engine(const Options& o, int iters) {
   return e;
 }
 
+// Live-plane overhead: the same concurrent engine with and without the
+// background sampler ticking at 50 ms — ten times the default rate, so
+// the gate leaves headroom. "naive" is the sampler-free run, "opt" runs
+// under the sampler, so the speedup sits at ~1.0 and the in-binary
+// check below enforces the documented promise directly: <= 1% median
+// overhead, plus a noise allowance derived from the measured MAD so a
+// loaded CI runner doesn't flake the gate.
+Entry bench_engine_live_sampler(const Options& o, int iters) {
+  iters = std::max(iters, 15);
+  const bench::Workload wl = [&] {
+    bench::Workload w;
+    w.model = "T-GCN";
+    w.dataset = "GT";
+    w.g = datasets::load("GT", o.quick ? 0.15 : 0.3, o.quick ? 6u : 8u);
+    w.w = DgnnWeights::init(ModelConfig::preset("T-GCN"),
+                            w.g.feature_dim(), bench::rng_seed());
+    return w;
+  }();
+  EngineOptions opts;
+  opts.store_outputs = false;
+  opts.count_redundancy = false;
+
+  Entry e;
+  e.name = "engine_live_sampler";
+  OpCounts counts;
+  e.naive = bench::time_median(
+      [&] {
+        const EngineResult r = ConcurrentEngine(opts).run(wl.g, wl.w);
+        counts = r.total_counts();
+      },
+      iters);
+  {
+    obs::live::LiveSampler sampler(
+        {/*interval_ms=*/50, /*ring_capacity=*/64});
+    sampler.start();
+    e.opt = bench::time_median(
+        [&] { ConcurrentEngine(opts).run(wl.g, wl.w); }, iters);
+    sampler.stop();
+  }
+  e.macs = counts.macs;
+  e.bytes = counts.feature_bytes + counts.weight_bytes +
+            counts.structure_bytes + counts.output_bytes;
+
+  if (obs::telemetry_enabled()) {  // compiled-out telemetry: nothing to gate
+    const double overhead =
+        e.naive.median_sec > 0
+            ? e.opt.median_sec / e.naive.median_sec - 1.0
+            : 0.0;
+    const double slack =
+        3.0 * std::max(e.naive.mad_frac, e.opt.mad_frac);
+    TAGNN_CHECK_MSG(
+        overhead <= 0.01 + slack,
+        "live sampler overhead " << 100.0 * overhead
+            << "% exceeds the 1% budget (noise allowance "
+            << 100.0 * slack << "%)");
+  }
+  return e;
+}
+
 void write_json(const Options& o, const std::vector<Entry>& entries) {
   std::ostringstream os;
   os << "{\n  \"schema\": \"tagnn.bench_regress.v1\",\n"
@@ -269,6 +330,7 @@ int run(int argc, char** argv) {
   entries.push_back(bench_gemm(o, iters));
   entries.push_back(bench_gcn_layer(o, iters));
   entries.push_back(bench_engine(o, std::max(1, iters / 2)));
+  entries.push_back(bench_engine_live_sampler(o, std::max(1, iters / 2)));
 
   Table tab({"kernel", "naive ms", "opt ms", "speedup", "mad %"});
   for (const Entry& e : entries) {

@@ -2,15 +2,55 @@
 // from a live graph feed); windows are processed as they fill, with
 // bounded memory. Demonstrates the StreamCarry mechanism and the
 // incremental classifier side by side.
+//
+// Takes the shared telemetry flags (obs/cli.hpp), so it doubles as the
+// smallest host of the live telemetry plane:
+//   streaming_inference --live-port 0 --live-linger-ms 30000
+// serves /metrics and /snapshot.json while the stream runs.
 #include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "graph/datasets.hpp"
 #include "graph/incremental.hpp"
 #include "nn/streaming.hpp"
+#include "obs/cli.hpp"
+#include "obs/live/live.hpp"
+#include "obs/telemetry.hpp"
 #include "tensor/ops.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tagnn;
+  obs::TelemetryCliOptions tel;
+  try {
+    const std::vector<std::string> args = obs::split_eq_flags(argc, argv);
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (!obs::consume_telemetry_flag(args, i, tel)) {
+        std::cerr << "usage: " << argv[0] << "\n" << obs::telemetry_usage();
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (tel.disable_telemetry) obs::set_telemetry_enabled(false);
+  std::unique_ptr<obs::live::LivePlane> live;
+  if (tel.wants_live()) {
+    obs::live::LiveOptions lo;
+    lo.port = tel.live_port;
+    lo.interval_ms = tel.live_interval_ms;
+    lo.flight_recorder_path = tel.flight_recorder;
+    live = std::make_unique<obs::live::LivePlane>(lo);
+    std::string error;
+    if (!live->start(&error)) {
+      std::cerr << "live plane: " << error << "\n";
+      return 1;
+    }
+  }
+
   const DynamicGraph g = datasets::load("HP", 0.25, 12);
   const DgnnWeights w =
       DgnnWeights::init(ModelConfig::preset("T-GCN"), g.feature_dim(), 3);
@@ -50,5 +90,6 @@ int main() {
   std::cout << "total work: " << stream.total_counts().macs / 1e6
             << " MMACs across " << stream.snapshots_processed()
             << " snapshots\n";
+  if (live != nullptr) live->wait_linger(tel.live_linger_ms);
   return 0;
 }

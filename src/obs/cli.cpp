@@ -17,6 +17,23 @@ std::string need_value(const std::vector<std::string>& args, std::size_t& i,
   return args[++i];
 }
 
+int need_int(const std::vector<std::string>& args, std::size_t& i,
+             const std::string& flag, int min_value, int max_value) {
+  const std::string v = need_value(args, i, flag);
+  int out = 0;
+  try {
+    std::size_t used = 0;
+    out = std::stoi(v, &used);
+    if (used != v.size()) throw std::invalid_argument(v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer for " + flag + ": '" + v + "'");
+  }
+  if (out < min_value || out > max_value) {
+    throw std::invalid_argument(flag + " out of range: " + v);
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<std::string> split_eq_flags(int argc, char** argv) {
@@ -68,13 +85,31 @@ bool consume_telemetry_flag(const std::vector<std::string>& args,
     o.disable_telemetry = true;
     return true;
   }
+  if (a == "--live-port") {
+    o.live_port = need_int(args, i, a, 0, 65535);
+    return true;
+  }
+  if (a == "--live-interval-ms") {
+    o.live_interval_ms = need_int(args, i, a, 1, 3600000);
+    return true;
+  }
+  if (a == "--live-linger-ms") {
+    o.live_linger_ms = need_int(args, i, a, 0, 86400000);
+    return true;
+  }
+  if (a == "--flight-recorder") {
+    o.flight_recorder = need_value(args, i, a);
+    return true;
+  }
   return false;
 }
 
 const char* telemetry_usage() {
   return "       [--metrics-out FILE] [--metrics-format json|csv]\n"
          "       [--trace-out FILE] [--no-telemetry]\n"
-         "       [--report-out FILE] [--ledger FILE]\n";
+         "       [--report-out FILE] [--ledger FILE]\n"
+         "       [--live-port PORT] [--live-interval-ms MS]\n"
+         "       [--live-linger-ms MS] [--flight-recorder FILE]\n";
 }
 
 void write_metrics_file(const TelemetryCliOptions& o,

@@ -7,6 +7,14 @@
 //   --no-telemetry            runtime telemetry off-switch
 //   --report-out FILE         write a tool-specific JSON report on exit
 //   --ledger FILE             append a tagnn.run.v1 record (JSONL)
+//   --live-port PORT          serve /metrics /snapshot.json /healthz
+//                             /quit on 127.0.0.1:PORT (0 = ephemeral,
+//                             announced on stderr)
+//   --live-interval-ms MS     sampler tick interval (default 500)
+//   --live-linger-ms MS       keep serving MS after the workload ends
+//                             (released early by GET /quit)
+//   --flight-recorder FILE    crash-time JSONL dump of the last
+//                             sampler ticks (tagnn.flight.v1)
 #pragma once
 
 #include <string>
@@ -24,11 +32,20 @@ struct TelemetryCliOptions {
   std::string report_out;
   std::string ledger;
   bool disable_telemetry = false;
+  int live_port = -1;  // >= 0: serve the live plane (0 = ephemeral)
+  int live_interval_ms = 500;
+  int live_linger_ms = 0;
+  std::string flight_recorder;
 
   bool wants_metrics() const { return !metrics_out.empty(); }
   bool wants_trace() const { return !trace_out.empty(); }
   bool wants_report() const { return !report_out.empty(); }
   bool wants_ledger() const { return !ledger.empty(); }
+  /// The live plane starts when either the HTTP server or the flight
+  /// recorder is requested (the sampler feeds both).
+  bool wants_live() const {
+    return live_port >= 0 || !flight_recorder.empty();
+  }
 };
 
 /// Splits each "--flag=value" token into "--flag", "value" so parsers

@@ -226,6 +226,39 @@ bool json_valid(std::string_view text, std::string* error) {
   return Parser(text).run(error);
 }
 
+bool jsonl_valid(std::string_view text, std::string* error,
+                 bool tolerate_torn_final, std::size_t* lines) {
+  std::size_t valid = 0;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  bool ok = true;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const bool terminated = nl != std::string_view::npos;
+    std::string_view line =
+        text.substr(pos, terminated ? nl - pos : std::string_view::npos);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    ++line_no;
+    pos = terminated ? nl + 1 : text.size();
+    if (line.find_first_not_of(" \t") == std::string_view::npos) continue;
+    std::string line_error;
+    if (json_valid(line, &line_error)) {
+      ++valid;
+      continue;
+    }
+    if (!terminated && tolerate_torn_final) continue;  // crash mid-write
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << "line " << line_no << ": " << line_error;
+      *error = os.str();
+    }
+    ok = false;
+    break;
+  }
+  if (lines != nullptr) *lines = valid;
+  return ok;
+}
+
 namespace {
 
 std::atomic<std::uint64_t>& nonfinite_counter() {

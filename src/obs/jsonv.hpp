@@ -5,6 +5,7 @@
 // pulling in a JSON library dependency.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -18,6 +19,19 @@ namespace tagnn::obs {
 /// Bare NaN / Infinity / -Infinity tokens are rejected explicitly (RFC
 /// 8259 has no such literals; emitters here serialise them as null).
 bool json_valid(std::string_view text, std::string* error = nullptr);
+
+/// Validates JSON Lines: every non-blank line must be one valid JSON
+/// value. With `tolerate_torn_final` (the default), an invalid final
+/// line that is NOT newline-terminated is accepted — the run ledger and
+/// the crash-time flight recorder append line-at-a-time, so a process
+/// dying mid-write leaves at most one torn trailing line, and readers
+/// (analyze::parse_ledger, json_validate --jsonl) must shrug it off.
+/// An invalid line anywhere else still fails, as does a torn line
+/// followed by a newline. `lines` (if non-null) receives the number of
+/// valid documents seen.
+bool jsonl_valid(std::string_view text, std::string* error = nullptr,
+                 bool tolerate_torn_final = true,
+                 std::size_t* lines = nullptr);
 
 /// Writes `v` as a JSON number token (shortest round-trip decimal).
 /// Non-finite values have no JSON representation: they are written as

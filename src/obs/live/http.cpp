@@ -1,0 +1,240 @@
+#include "obs/live/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace tagnn::obs::live {
+namespace {
+
+// One request/response line cap; metrics bodies are built in userspace
+// strings, only the *request* is bounded.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+void set_timeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_response(int fd, const HttpResponse& r) {
+  std::string head = "HTTP/1.1 " + std::to_string(r.status) + " " +
+                     status_text(r.status) +
+                     "\r\nContent-Type: " + r.content_type +
+                     "\r\nContent-Length: " + std::to_string(r.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  if (send_all(fd, head.data(), head.size())) {
+    send_all(fd, r.body.data(), r.body.size());
+  }
+}
+
+}  // namespace
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::handle(std::string path, HttpHandler handler) {
+  TAGNN_CHECK_MSG(listen_fd_ < 0, "HttpServer: handle() after start()");
+  handlers_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool HttpServer::start(std::uint16_t port, std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+  TAGNN_CHECK_MSG(listen_fd_ < 0, "HttpServer: started twice");
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return fail("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { serve(); });
+  return true;
+}
+
+void HttpServer::serve() {
+  for (;;) {
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down by stop()
+    }
+    set_timeout(conn, 2000);
+    handle_connection(conn);
+    ::close(conn);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  // Read until the end of the request head; the request body (none for
+  // GET) is ignored.
+  std::string req;
+  char buf[1024];
+  while (req.size() < kMaxRequestBytes &&
+         req.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+  }
+  // Request line: METHOD SP target SP version.
+  const std::size_t eol = req.find("\r\n");
+  const std::string line = eol == std::string::npos ? req : req.substr(0, eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) {
+    write_response(fd, {400, "text/plain; charset=utf-8", "bad request\n"});
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    write_response(fd, {405, "text/plain; charset=utf-8",
+                        "only GET is supported\n"});
+    return;
+  }
+  std::string query;
+  const std::size_t qm = target.find('?');
+  if (qm != std::string::npos) {
+    query = target.substr(qm + 1);
+    target.resize(qm);
+  }
+  for (const auto& [path, handler] : handlers_) {
+    if (path == target) {
+      write_response(fd, handler(query));
+      return;
+    }
+  }
+  write_response(fd, {404, "text/plain; charset=utf-8",
+                      "unknown path: " + target + "\n"});
+}
+
+void HttpServer::stop() {
+  if (listen_fd_ < 0) return;
+  // shutdown() wakes the blocking accept() with an error; close() alone
+  // is not guaranteed to on all kernels.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+}
+
+std::uint64_t HttpServer::requests_served() const {
+  return requests_.load(std::memory_order_relaxed);
+}
+
+HttpGetResult http_get(const std::string& host, std::uint16_t port,
+                       const std::string& path, int timeout_ms) {
+  HttpGetResult r;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    r.error = std::string("socket: ") + std::strerror(errno);
+    return r;
+  }
+  set_timeout(fd, timeout_ms);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    r.error = "bad IPv4 address: " + host;
+    return r;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    r.error = "connect " + host + ":" + std::to_string(port) + ": " +
+              std::strerror(errno);
+    ::close(fd);
+    return r;
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  if (!send_all(fd, req.data(), req.size())) {
+    r.error = std::string("send: ") + std::strerror(errno);
+    ::close(fd);
+    return r;
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      r.error = std::string("recv: ") + std::strerror(errno);
+      ::close(fd);
+      return r;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  if (raw.rfind("HTTP/1.", 0) != 0 || raw.size() < 12) {
+    r.error = "malformed HTTP response";
+    return r;
+  }
+  r.status = std::atoi(raw.c_str() + 9);
+  const std::size_t body = raw.find("\r\n\r\n");
+  if (body != std::string::npos) r.body = raw.substr(body + 4);
+  r.ok = true;
+  return r;
+}
+
+}  // namespace tagnn::obs::live

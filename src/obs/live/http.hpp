@@ -1,0 +1,84 @@
+// Minimal embedded HTTP/1.1 server (and matching client) on blocking
+// POSIX sockets — no dependencies, loopback-only by design.
+//
+// The server binds 127.0.0.1 (port 0 = kernel-assigned, read back via
+// port()), runs one accept thread, and serves registered handlers
+// serially with Connection: close semantics. That is exactly the load
+// profile of a metrics scrape endpoint: one request every few seconds
+// from a scraper or tagnn_top, never a fan-in of clients. Only GET is
+// implemented; anything else gets 405, unknown paths 404.
+//
+// Handlers are registered before start() and looked up by exact path
+// (the query string is split off and passed through). stop() is
+// idempotent and joins the accept thread, so destruction is clean.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace tagnn::obs::live {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Handler input is the query string (text after '?', possibly empty).
+using HttpHandler = std::function<HttpResponse(const std::string& query)>;
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers a handler for an exact path ("/metrics"). Must be called
+  /// before start().
+  void handle(std::string path, HttpHandler handler);
+
+  /// Binds 127.0.0.1:port (0 = ephemeral) and starts the accept thread.
+  /// False + *error on failure; true at most once.
+  bool start(std::uint16_t port, std::string* error = nullptr);
+
+  bool running() const { return listen_fd_ >= 0; }
+  /// The bound port (the kernel's pick when started with port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Shuts the listen socket down and joins the accept thread.
+  void stop();
+
+  /// Requests served since start (for tests and the live metrics).
+  std::uint64_t requests_served() const;
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+
+  std::vector<std::pair<std::string, HttpHandler>> handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+struct HttpGetResult {
+  bool ok = false;      // transport-level success (any HTTP status)
+  int status = 0;
+  std::string body;
+  std::string error;    // transport error when !ok
+};
+
+/// Blocking GET http://host:port/path with a per-socket-op timeout.
+/// `host` must be a numeric IPv4 address (loopback in practice).
+HttpGetResult http_get(const std::string& host, std::uint16_t port,
+                       const std::string& path, int timeout_ms = 2000);
+
+}  // namespace tagnn::obs::live

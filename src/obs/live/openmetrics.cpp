@@ -1,0 +1,102 @@
+#include "obs/live/openmetrics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+
+namespace tagnn::obs::live {
+namespace {
+
+// Exposition number token. Unlike JSON, OpenMetrics has spellings for
+// the non-finite values, so nothing is dropped here.
+std::string number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+// HELP text escaping per the OpenMetrics ABNF: backslash and newline.
+std::string escape_help(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void family_header(std::string& out, const std::string& name,
+                   const char* type, std::string_view source_name) {
+  out += "# HELP " + name + " TaGNN " + type + " " +
+         escape_help(source_name) + "\n";
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += "\n";
+}
+
+}  // namespace
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0]))) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string to_openmetrics(
+    const MetricsSnapshot& snap,
+    const std::vector<std::pair<std::string, double>>& rates) {
+  std::string out;
+  out.reserve(4096);
+  for (const MetricValue& m : snap.metrics) {
+    const std::string name = openmetrics_name(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        family_header(out, name, "counter", m.name);
+        out += name + "_total " + std::to_string(m.u64) + "\n";
+        break;
+      case MetricKind::kGauge:
+        family_header(out, name, "gauge", m.name);
+        out += name + " " + number(m.value) + "\n";
+        break;
+      case MetricKind::kHistogram:
+        family_header(out, name, "summary", m.name);
+        out += name + "{quantile=\"0.5\"} " + number(m.hist.p50()) + "\n";
+        out += name + "{quantile=\"0.9\"} " + number(m.hist.p90()) + "\n";
+        out += name + "{quantile=\"0.99\"} " + number(m.hist.p99()) + "\n";
+        out += name + "_sum " + number(m.hist.sum) + "\n";
+        out += name + "_count " + std::to_string(m.hist.count) + "\n";
+        break;
+    }
+  }
+  for (const auto& [src, per_sec] : rates) {
+    const std::string name = openmetrics_name(src) + "_rate";
+    family_header(out, name, "gauge", src + " per-second rate");
+    out += name + " " + number(per_sec) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace tagnn::obs::live

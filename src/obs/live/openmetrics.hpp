@@ -1,0 +1,40 @@
+// OpenMetrics / Prometheus text exposition for MetricsSnapshot.
+//
+// Maps the registry's three metric kinds onto the exposition model:
+//   counter    ->  counter   (sample name gains the "_total" suffix)
+//   gauge      ->  gauge
+//   histogram  ->  summary   (p50/p90/p99 quantile labels, _sum, _count)
+// plus one synthetic "<name>_rate" gauge per sampler-computed rate.
+//
+// Names are sanitised to the [a-zA-Z_:][a-zA-Z0-9_:]* charset (dots and
+// anything else become '_'); HELP text and label values are escaped per
+// the OpenMetrics ABNF. The document ends with "# EOF". The exact bytes
+// are pinned by the golden test in tests/test_live.cpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tagnn::obs {
+
+struct MetricsSnapshot;
+
+namespace live {
+
+/// Content-Type for HTTP responses carrying this format.
+inline constexpr const char* kOpenMetricsContentType =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
+
+/// Sanitised exposition name for a registry metric name.
+std::string openmetrics_name(std::string_view name);
+
+/// Renders the snapshot (and optional per-second rates keyed by
+/// registry metric name) as one OpenMetrics text document.
+std::string to_openmetrics(
+    const MetricsSnapshot& snap,
+    const std::vector<std::pair<std::string, double>>& rates = {});
+
+}  // namespace live
+}  // namespace tagnn::obs

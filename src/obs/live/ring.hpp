@@ -1,0 +1,105 @@
+// Fixed-capacity timestamped ring of live telemetry samples.
+//
+// The sampler thread pushes one LiveSample per tick; HTTP handlers and
+// tagnn_top read the most recent ones. Capacity is fixed at
+// construction, so a long-lived process holds a bounded telemetry
+// window (the newest sample overwrites the oldest). All access is
+// mutex-guarded — this is the control plane, not a hot path; the
+// engine's hot-path writes go to MetricsRegistry's lock-free shards and
+// never touch this ring.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace tagnn::obs::live {
+
+/// One sampler tick: a full registry snapshot plus the per-interval
+/// rates derived from the previous tick (reset-clamped, see
+/// obs::rate()). `json` is the compact single-line tagnn.live.v1
+/// document — pre-rendered so the crash-time flight recorder can dump
+/// it from a signal handler without formatting anything.
+struct LiveSample {
+  std::uint64_t seq = 0;        // 1-based tick number
+  std::uint64_t wall_unix_ms = 0;
+  double uptime_s = 0;          // monotonic seconds since sampler start
+  double interval_s = 0;        // measured gap to the previous tick
+  MetricsSnapshot snapshot;
+  /// Per-second rates for every counter (by metric name) and every
+  /// histogram's event count (name + ".count"); insertion order is the
+  /// snapshot's name order.
+  std::vector<std::pair<std::string, double>> rates;
+  std::string json;             // compact tagnn.live.v1 line (no '\n')
+};
+
+class LiveRing {
+ public:
+  explicit LiveRing(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    slots_.reserve(capacity_);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  void push(LiveSample s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_.size() < capacity_) {
+      slots_.push_back(std::move(s));
+    } else {
+      slots_[head_] = std::move(s);
+      head_ = (head_ + 1) % capacity_;
+    }
+    ++pushed_;
+  }
+
+  /// Total pushes since construction (>= size()).
+  std::uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return slots_.size();
+  }
+
+  /// Copies the newest sample into *out; false when empty.
+  bool latest(LiveSample* out) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_.empty()) return false;
+    const std::size_t newest =
+        slots_.size() < capacity_ ? slots_.size() - 1
+                                  : (head_ + capacity_ - 1) % capacity_;
+    *out = slots_[newest];
+    return true;
+  }
+
+  /// The newest min(n, size()) samples, oldest first.
+  std::vector<LiveSample> recent(std::size_t n) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t count = std::min(n, slots_.size());
+    std::vector<LiveSample> out;
+    out.reserve(count);
+    const std::size_t oldest =
+        slots_.size() < capacity_ ? 0 : head_;
+    for (std::size_t i = slots_.size() - count; i < slots_.size(); ++i) {
+      out.push_back(slots_[(oldest + i) % slots_.size()]);
+    }
+    return out;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<LiveSample> slots_;
+  std::size_t head_ = 0;       // oldest slot once the ring is full
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace tagnn::obs::live

@@ -1,0 +1,166 @@
+#include "obs/live/sampler.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "obs/jsonv.hpp"
+#include "obs/live/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace tagnn::obs::live {
+namespace {
+
+double mono_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t wall_unix_ms() {
+  using namespace std::chrono;
+  return static_cast<std::uint64_t>(
+      duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+          .count());
+}
+
+// Metric names are ASCII identifiers; stay correct for arbitrary input.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LiveSampler::LiveSampler() : LiveSampler(Options{}) {}
+
+LiveSampler::LiveSampler(Options opts)
+    : opts_(opts), ring_(opts.ring_capacity) {}
+
+LiveSampler::~LiveSampler() { stop(); }
+
+void LiveSampler::start() {
+  if (!telemetry_enabled()) return;  // the whole plane is gated
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  start_mono_s_ = mono_seconds();
+  sample_once();  // the ring is never empty once the sampler is up
+  thread_ = std::thread([this] { run(); });
+}
+
+void LiveSampler::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = false;  // allow a later restart in tests
+  }
+}
+
+void LiveSampler::run() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  const auto interval = std::chrono::milliseconds(opts_.interval_ms);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_for(lock, interval, [this] { return stop_requested_; }))
+      break;
+    lock.unlock();
+    sample_once();
+    lock.lock();
+  }
+}
+
+LiveSample LiveSampler::make_sample() {
+  LiveSample s;
+  const double now = mono_seconds();
+  s.seq = ++seq_;
+  s.wall_unix_ms = wall_unix_ms();
+  s.uptime_s = now - start_mono_s_;
+  s.interval_s = have_prev_ ? now - prev_mono_s_ : 0.0;
+  s.snapshot = MetricsRegistry::global().snapshot();
+
+  // Reset-tolerant rates for every counter and every histogram's event
+  // count. A registry reset() drops totals below the previous tick; the
+  // delta clamps to 0 (obs::counter_delta) instead of wrapping.
+  std::unordered_map<std::string, std::uint64_t> counts;
+  counts.reserve(s.snapshot.metrics.size());
+  for (const MetricValue& m : s.snapshot.metrics) {
+    if (m.kind == MetricKind::kCounter) {
+      counts.emplace(m.name, m.u64);
+    } else if (m.kind == MetricKind::kHistogram) {
+      counts.emplace(m.name + ".count", m.hist.count);
+    }
+  }
+  if (have_prev_) {
+    s.rates.reserve(counts.size());
+    for (const MetricValue& m : s.snapshot.metrics) {
+      const std::string key =
+          m.kind == MetricKind::kHistogram ? m.name + ".count" : m.name;
+      if (m.kind == MetricKind::kGauge) continue;
+      const auto prev = prev_counts_.find(key);
+      const std::uint64_t prev_v =
+          prev == prev_counts_.end() ? 0 : prev->second;
+      s.rates.emplace_back(key, rate(prev_v, counts.at(key), s.interval_s));
+    }
+  }
+  prev_counts_ = std::move(counts);
+  prev_mono_s_ = now;
+  have_prev_ = true;
+
+  // Pre-render the compact tagnn.live.v1 line (single line, no '\n') so
+  // the flight recorder can replay it from a signal handler.
+  std::ostringstream os;
+  os << "{\"schema\": \"tagnn.live.v1\", \"seq\": " << s.seq
+     << ", \"wall_unix_ms\": " << s.wall_unix_ms << ", \"uptime_s\": ";
+  write_json_number(os, s.uptime_s);
+  os << ", \"interval_s\": ";
+  write_json_number(os, s.interval_s);
+  os << ", \"rates\": {";
+  for (std::size_t i = 0; i < s.rates.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << '"' << json_escape(s.rates[i].first) << "\": ";
+    write_json_number(os, s.rates[i].second);
+  }
+  os << "}, \"metrics\": ";
+  s.snapshot.write_metrics_object_compact(os);
+  os << "}";
+  s.json = os.str();
+  return s;
+}
+
+void LiveSampler::sample_once() {
+  std::lock_guard<std::mutex> lock(sample_mu_);
+  LiveSample s = make_sample();
+  FlightRecorder& fr = FlightRecorder::global();
+  if (fr.installed()) fr.record_line(s.json);
+  ring_.push(std::move(s));
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace tagnn::obs::live

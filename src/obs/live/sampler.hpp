@@ -1,0 +1,87 @@
+// Background sampler: snapshots the global MetricsRegistry at a fixed
+// interval into a LiveRing, computing reset-tolerant per-second rates
+// for every counter against the previous tick (obs::rate()).
+//
+// Each tick is also pre-rendered as one compact tagnn.live.v1 JSON
+// line and handed to the crash-time FlightRecorder (when installed), so
+// a signal handler never has to format anything.
+//
+// The sampler is part of the telemetry plane and sits behind the same
+// gate as the rest of it: start() is a no-op when telemetry is compiled
+// out or switched off at runtime, so a --no-telemetry run carries zero
+// sampler overhead.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/live/ring.hpp"
+
+namespace tagnn::obs::live {
+
+class LiveSampler {
+ public:
+  struct Options {
+    int interval_ms = 500;
+    std::size_t ring_capacity = 120;  // 1 min of history at the default
+  };
+
+  LiveSampler();  // default Options
+  explicit LiveSampler(Options opts);
+  ~LiveSampler();
+
+  LiveSampler(const LiveSampler&) = delete;
+  LiveSampler& operator=(const LiveSampler&) = delete;
+
+  /// Takes an immediate first sample, then one per interval on a
+  /// background thread. No-op (running() stays false) when telemetry is
+  /// disabled. Safe to call once.
+  void start();
+
+  /// Stops and joins the sampler thread; idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  const LiveRing& ring() const { return ring_; }
+  std::uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  int interval_ms() const { return opts_.interval_ms; }
+
+  /// Takes one sample synchronously on the caller's thread (used by the
+  /// background loop; exposed so tests can drive the sampler without
+  /// timing dependence). Updates rate state, pushes to the ring, and
+  /// records the line with the flight recorder.
+  void sample_once();
+
+ private:
+  void run();
+  LiveSample make_sample();
+
+  const Options opts_;
+  LiveRing ring_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> ticks_{0};
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+
+  // Rate state: previous tick's counter totals (and histogram event
+  // counts) by name, plus the previous tick's monotonic time. Only the
+  // sampler thread (or a test calling sample_once()) touches these.
+  std::mutex sample_mu_;  // serialises concurrent sample_once() callers
+  std::unordered_map<std::string, std::uint64_t> prev_counts_;
+  bool have_prev_ = false;
+  double prev_mono_s_ = 0;
+  double start_mono_s_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace tagnn::obs::live

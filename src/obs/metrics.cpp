@@ -232,6 +232,15 @@ void MetricsSnapshot::write_metrics_object(std::ostream& os,
      << "}";
 }
 
+void MetricsSnapshot::write_metrics_object_compact(std::ostream& os) const {
+  os << "{";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) os << ", ";
+    write_metric_json(os, metrics[i], "");
+  }
+  os << "}";
+}
+
 void MetricsSnapshot::write_json(std::ostream& os) const {
   os << "{\n  \"schema\": \"tagnn.metrics.v1\",\n  \"metrics\": ";
   write_metrics_object(os, 4);

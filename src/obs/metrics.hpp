@@ -89,6 +89,9 @@ struct MetricsSnapshot {
   void write_json(std::ostream& os) const;
   /// Just the {"name": {...}, ...} metrics object (for embedding).
   void write_metrics_object(std::ostream& os, int indent = 2) const;
+  /// Same object with no newlines — for JSONL lines (live snapshots,
+  /// flight-recorder slots) where one document must stay on one line.
+  void write_metrics_object_compact(std::ostream& os) const;
   /// A "# schema: tagnn.metrics_csv.v2" comment line, then a
   /// name,kind,value,count,sum,min,max,p50,p90,p99 header and rows.
   void write_csv(std::ostream& os) const;
@@ -149,6 +152,22 @@ class MetricsRegistry {
   mutable std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<GaugeCell[]> gauges_;
 };
+
+/// Reset-tolerant monotonic-counter delta between two observations of
+/// the same counter. A registry reset() makes `cur` jump below `prev`;
+/// the delta clamps to 0 instead of wrapping to a huge unsigned value.
+inline std::uint64_t counter_delta(std::uint64_t prev, std::uint64_t cur) {
+  return cur >= prev ? cur - prev : 0;
+}
+
+/// Per-second rate of a reset-tolerant counter delta over `dt_seconds`.
+/// Returns 0 when the interval is not positive (first sample, clock
+/// glitch) — never negative, never infinite.
+inline double rate(std::uint64_t prev, std::uint64_t cur,
+                   double dt_seconds) {
+  if (!(dt_seconds > 0.0)) return 0.0;
+  return static_cast<double>(counter_delta(prev, cur)) / dt_seconds;
+}
 
 // Convenience helpers against the global registry. Prefer caching a
 // MetricId in a function-local static on hot paths.

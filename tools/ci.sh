@@ -107,6 +107,89 @@ telemetry_smoke() {
   return 0
 }
 
+live_smoke() {
+  # Live-telemetry smoke (docs/OBSERVABILITY.md, "Live telemetry"): a
+  # simulator run hosting the in-process HTTP plane must serve a valid
+  # /metrics exposition and /snapshot.json, render in tagnn_top, and
+  # shut down cleanly via GET /quit; the negative leg aborts a live run
+  # and requires the flight-recorder dump to survive as parseable JSONL
+  # (torn final line tolerated — that is the crash contract).
+  # Default preset only: the signal-time dump path interacts with the
+  # sanitizer runtimes' own crash handlers (the equivalent unit test
+  # skips under ASan/TSan for the same reason).
+  # Same errexit caveat as telemetry_smoke: chain statuses explicitly.
+  local build_dir="$1"
+  local dir
+  dir="$(mktemp -d)" || return 1
+
+  # Positive leg: long linger so the scrapes race nothing; /quit ends it.
+  "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
+    --live-port 0 --live-interval-ms 50 --live-linger-ms 60000 \
+    --flight-recorder "$dir/flight.jsonl" \
+    > /dev/null 2> "$dir/sim.log" &
+  local pid=$! port="" i
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/^live: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$dir/sim.log")"
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2> /dev/null; then
+      echo "live smoke: simulator exited before announcing a port" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    kill "$pid" 2> /dev/null
+    echo "live smoke: no 'live: listening' line within 10s" >&2
+    return 1
+  fi
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /healthz \
+    > /dev/null &&
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /metrics \
+    > "$dir/metrics.om" &&
+  grep -q '^# EOF$' "$dir/metrics.om" &&
+  grep -q '^tagnn_' "$dir/metrics.om" &&
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /snapshot.json \
+    > "$dir/snapshot.json" &&
+  "$build_dir/tools/json_validate" "$dir/snapshot.json" &&
+  grep -q '"schema": "tagnn.live.v1"' "$dir/snapshot.json" &&
+  "$build_dir/tools/tagnn_top" --port "$port" --once > /dev/null &&
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /quit \
+    > /dev/null || { kill "$pid" 2> /dev/null; return 1; }
+  local rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "live smoke: simulator exited $rc after /quit (want 0)" >&2
+    return 1
+  fi
+  "$build_dir/tools/json_validate" --jsonl "$dir/flight.jsonl" || return 1
+
+  # Negative leg: kill a live run mid-flight; the pre-opened dump fd
+  # must end up holding JSONL that the torn-tolerant validator accepts.
+  "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
+    --live-port 0 --live-interval-ms 20 --live-linger-ms 60000 \
+    --flight-recorder "$dir/crash.jsonl" \
+    > /dev/null 2> "$dir/crash.log" &
+  pid=$!
+  for i in $(seq 1 100); do
+    grep -q 'live: listening' "$dir/crash.log" && break
+    sleep 0.1
+  done
+  sleep 0.3
+  kill -ABRT "$pid" 2> /dev/null
+  rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 134 ]; then
+    echo "live smoke: aborted run exited $rc (want 134 = SIGABRT)" >&2
+    return 1
+  fi
+  "$build_dir/tools/json_validate" --jsonl "$dir/crash.jsonl" &&
+  grep -q '"event": "begin"' "$dir/crash.jsonl" &&
+  grep -q '"signal": 6' "$dir/crash.jsonl" || return 1
+  rm -rf "$dir"
+  echo "live smoke: endpoints valid, clean shutdown, crash dump parseable"
+}
+
 bench_gate() {
   # Bench-regression gate (docs/PERFORMANCE.md): quick bench run,
   # JSON validity, then ratio/fingerprint comparison vs the checked-in
@@ -233,6 +316,9 @@ for preset in "${presets[@]}"; do
       env TAGNN_KERNEL_ISA=scalar ctest --preset "$preset" -j "$jobs"
   fi
   step "[$preset] telemetry smoke" telemetry_smoke "$build_dir"
+  if [ "$preset" = "default" ]; then
+    step "[$preset] live smoke" live_smoke "$build_dir"
+  fi
 done
 
 # The invariants checker is sub-second, so it runs even in --fast mode;

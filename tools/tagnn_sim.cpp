@@ -31,6 +31,7 @@
 #include "nn/engine.hpp"
 #include "obs/analyze/ledger.hpp"
 #include "obs/cli.hpp"
+#include "obs/live/live.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tagnn/accelerator.hpp"
@@ -314,7 +315,22 @@ int run(const Options& o) {
     tc = std::make_unique<obs::TraceCollector>(o.cfg.clock_mhz);
     obs::TraceCollector::set_active(tc.get());
   }
+  // The live plane comes up before the workload so scrapes see the run
+  // in flight, and lingers after it (released early by GET /quit).
+  std::unique_ptr<obs::live::LivePlane> live;
+  if (o.tel.wants_live()) {
+    obs::live::LiveOptions lo;
+    lo.port = o.tel.live_port;
+    lo.interval_ms = o.tel.live_interval_ms;
+    lo.flight_recorder_path = o.tel.flight_recorder;
+    live = std::make_unique<obs::live::LivePlane>(lo);
+    std::string error;
+    if (!live->start(&error)) {
+      throw std::runtime_error("live plane: " + error);
+    }
+  }
   const int rc = run_impl(o);
+  if (live != nullptr) live->wait_linger(o.tel.live_linger_ms);
   obs::TraceCollector::set_active(nullptr);
   if (o.tel.wants_metrics()) {
     obs::write_metrics_file(o.tel,
