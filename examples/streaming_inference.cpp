@@ -1,7 +1,10 @@
 // Streaming inference: snapshots arrive one at a time (as they would
 // from a live graph feed); windows are processed as they fill, with
-// bounded memory. Demonstrates the StreamCarry mechanism and the
-// incremental classifier side by side.
+// bounded memory. Since the serving layer landed, this example is a
+// thin in-process client of serve::Tenant — the same code path
+// tagnn_serve runs per tenant — with the incremental classifier shown
+// side by side. The windowing/carry mechanics live in serve::Tenant +
+// nn/streaming.hpp; nothing is duplicated here.
 //
 // Takes the shared telemetry flags (obs/cli.hpp), so it doubles as the
 // smallest host of the live telemetry plane:
@@ -13,12 +16,12 @@
 #include <string>
 #include <vector>
 
-#include "graph/datasets.hpp"
 #include "graph/incremental.hpp"
-#include "nn/streaming.hpp"
+#include "nn/engine.hpp"
 #include "obs/cli.hpp"
 #include "obs/live/live.hpp"
 #include "obs/telemetry.hpp"
+#include "serve/tenant.hpp"
 #include "tensor/ops.hpp"
 
 int main(int argc, char** argv) {
@@ -51,22 +54,28 @@ int main(int argc, char** argv) {
     }
   }
 
-  const DynamicGraph g = datasets::load("HP", 0.25, 12);
-  const DgnnWeights w =
-      DgnnWeights::init(ModelConfig::preset("T-GCN"), g.feature_dim(), 3);
+  serve::TenantConfig cfg;
+  cfg.name = "demo";
+  cfg.dataset = "HP";
+  cfg.scale = 0.25;
+  cfg.stream_snapshots = 12;
+  cfg.model = "T-GCN";
+  cfg.weight_seed = 3;
+  serve::Tenant tenant(cfg);
+  const DynamicGraph& g = tenant.stream();
   std::cout << "Streaming " << g.num_snapshots() << " snapshots of "
-            << g.num_vertices() << " vertices (window 4)...\n";
+            << g.num_vertices() << " vertices (window "
+            << cfg.engine.window_size << ")...\n";
 
-  StreamingInference stream(w, {});
   IncrementalClassifier inc(g, 4);
 
   for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
-    const auto outputs = stream.push(g.snapshot(t));
-    std::cout << "t=" << t << ": buffered";
-    if (!outputs.empty()) {
-      std::cout << " -> window processed, " << outputs.size()
-                << " snapshots of final features emitted";
-    }
+    serve::IngestCommand step;
+    step.advance = 1;
+    const serve::Reply r = tenant.ingest(step);
+    std::cout << "t=" << t << ": " << serve::to_string(r.status)
+              << ", buffered " << (r.snapshots - r.processed)
+              << " of a window";
     if (t + 4 <= g.num_snapshots()) {
       const auto& cls = inc.advance(t <= g.num_snapshots() - 4
                                         ? t
@@ -79,16 +88,21 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n";
   }
-  const auto tail = stream.flush();
-  std::cout << "flush: " << tail.size() << " trailing snapshots\n";
+  // Inference flushes the trailing partial window and digests the
+  // final features — exactly what POST /v1/infer does on the server.
+  const serve::Reply final = tenant.infer({});
+  std::cout << "infer: processed " << final.processed
+            << " snapshots, state digest " << final.digest << "\n";
 
-  // Verify the stream matches a batch run.
+  // Verify the served stream matches a batch run over the same trace.
+  const DgnnWeights w = DgnnWeights::init(ModelConfig::preset(cfg.model),
+                                          g.feature_dim(), cfg.weight_seed);
   const EngineResult batch = ConcurrentEngine().run(g, w);
   std::cout << "stream vs batch final-feature max diff: "
-            << max_abs_diff(stream.state(), batch.final_hidden)
+            << max_abs_diff(tenant.state(), batch.final_hidden)
             << " (must be 0)\n";
-  std::cout << "total work: " << stream.total_counts().macs / 1e6
-            << " MMACs across " << stream.snapshots_processed()
+  std::cout << "total work: " << tenant.total_counts().macs / 1e6
+            << " MMACs across " << tenant.snapshots_processed()
             << " snapshots\n";
   if (live != nullptr) live->wait_linger(tel.live_linger_ms);
   return 0;

@@ -18,6 +18,14 @@ LivePlane::LivePlane(LiveOptions opts)
 
 LivePlane::~LivePlane() { stop(); }
 
+void LivePlane::handle(std::string path, HttpHandler handler) {
+  server_.handle(std::move(path), std::move(handler));
+}
+
+void LivePlane::handle_request(std::string path, HttpRequestHandler handler) {
+  server_.handle_request(std::move(path), std::move(handler));
+}
+
 bool LivePlane::start(std::string* error) {
   if (started_) return true;
   if (!opts_.flight_recorder_path.empty()) {
@@ -27,6 +35,9 @@ bool LivePlane::start(std::string* error) {
   }
   sampler_.start();
   if (opts_.port >= 0) {
+    if (opts_.http_concurrency > 1) {
+      server_.set_concurrency(opts_.http_concurrency);
+    }
     server_.handle("/metrics", [this](const std::string&) {
       return on_metrics();
     });

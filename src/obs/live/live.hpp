@@ -35,6 +35,10 @@ struct LiveOptions {
   std::string flight_recorder_path;
   /// Announce the bound port on stderr (off in unit tests).
   bool announce = true;
+  /// HTTP connection-handling threads. 1 = the classic serial scrape
+  /// loop; the serving layer raises this so requests can block inside
+  /// handlers concurrently (see HttpServer::set_concurrency).
+  int http_concurrency = 1;
 };
 
 class LivePlane {
@@ -52,6 +56,12 @@ class LivePlane {
 
   /// Stops the server and sampler; idempotent, called by the dtor.
   void stop();
+
+  /// Registers an extra endpoint on the embedded server (before
+  /// start()). Hosts like tagnn_serve mount their request plane
+  /// (/v1/*, /slo.json) next to the built-in telemetry endpoints.
+  void handle(std::string path, HttpHandler handler);
+  void handle_request(std::string path, HttpRequestHandler handler);
 
   /// The bound HTTP port (0 when no server is running).
   std::uint16_t port() const { return server_.port(); }

@@ -1,0 +1,90 @@
+// One tenant of the serving layer: an isolated dynamic graph with its
+// own engine state.
+//
+// A tenant owns a generated snapshot stream (one of the Table 2
+// datasets, cycled indefinitely), the current materialised snapshot,
+// and a StreamingInference instance carrying RNN/skip state across
+// windows. Ingest requests advance the stream and/or apply an explicit
+// edge delta on top of the current snapshot; infer requests flush
+// buffered snapshots through the engine and read back the final
+// features. Replies are a pure function of the request order (see
+// serve/protocol.hpp), which is what makes batched execution
+// byte-identical to unbatched execution.
+//
+// Tenant is NOT thread-safe: ServeCore gives each tenant one worker
+// thread that applies its queue in admission order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/dynamic_graph.hpp"
+#include "nn/streaming.hpp"
+#include "nn/weights.hpp"
+#include "serve/protocol.hpp"
+
+namespace tagnn::serve {
+
+struct TenantConfig {
+  std::string name = "t0";
+  /// Dataset short name (HP/GT/ML/EP/FK) and generator scale.
+  std::string dataset = "GT";
+  double scale = 0.05;
+  /// Length of the generated stream; ingest cycles through it.
+  std::size_t stream_snapshots = 12;
+  /// Model preset (CD-GCN / GC-LSTM / T-GCN) and weight seed.
+  std::string model = "T-GCN";
+  std::uint64_t weight_seed = 3;
+  EngineOptions engine;
+  /// Admission bound: requests queued beyond this are shed (ServeCore).
+  std::size_t max_queue = 64;
+};
+
+class Tenant {
+ public:
+  /// Generates the stream and initialises weights; heavy, done once at
+  /// server start.
+  explicit Tenant(TenantConfig cfg);
+
+  const TenantConfig& config() const { return cfg_; }
+  const std::string& name() const { return cfg_.name; }
+
+  /// Applies one request (dispatches on req.op) and renders the reply.
+  Reply apply(const Request& req);
+
+  Reply ingest(const IngestCommand& cmd);
+  Reply infer(const InferCommand& cmd);
+
+  /// The generated source stream (the example compares against a batch
+  /// run over exactly this graph).
+  const DynamicGraph& stream() const { return stream_; }
+  /// Final features after the last processed snapshot.
+  const Matrix& state() const { return infer_.state(); }
+  std::uint64_t epoch() const { return epoch_; }
+  std::size_t snapshots_seen() const { return infer_.snapshots_seen(); }
+  std::size_t snapshots_processed() const {
+    return infer_.snapshots_processed();
+  }
+  const OpCounts& total_counts() const { return infer_.total_counts(); }
+
+ private:
+  Reply base_reply(Status s) const;
+  void push_next_stream_snapshot();
+  bool apply_delta(const IngestCommand& cmd, std::string* error);
+
+  TenantConfig cfg_;
+  DgnnWeights weights_;
+  DynamicGraph stream_;
+  std::size_t stream_pos_ = 0;
+  /// Last materialised snapshot (deltas stack on top of it).
+  Snapshot current_;
+  bool have_current_ = false;
+  StreamingInference infer_;
+  std::uint64_t epoch_ = 0;
+  /// Digest cache: state() only changes when snapshots are consumed, so
+  /// back-to-back infers reuse the rendered digest (metrics count hits).
+  std::uint64_t digest_seen_ = ~std::uint64_t{0};
+  std::string digest_;
+};
+
+}  // namespace tagnn::serve

@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""Gate a bench_regress run against a checked-in baseline.
+"""Gate a bench_regress or loadgen run against a checked-in baseline.
 
 Usage: tools/bench_compare.py RESULT.json BASELINE.json [--tolerance F]
-                              [--cycles-tolerance F]
+                              [--cycles-tolerance F] [--latency-tolerance F]
 
-Both files follow the `tagnn.bench_regress.v1` schema written by
-bench/bench_regress.cpp. The gate deliberately never compares absolute
-wall times (they depend on the host); it compares quantities that are
-stable across machines:
+Two modes, selected by the RESULT document's schema:
+
+`tagnn.bench_regress.v1` (bench/bench_regress.cpp) — speedup floors.
+The gate deliberately never compares absolute wall times (they depend
+on the host); it compares quantities that are stable across machines:
 
   * speedup    — naive/optimised ratio per kernel. Regression when the
                  measured speedup drops below baseline * (1 - tolerance)
@@ -26,10 +27,23 @@ stable across machines:
   * cycles     — simulated accelerator cycles (deterministic). A rise
                  above baseline * (1 + cycles-tolerance) fails.
 
-Every entry in the baseline must be present in the result; extra result
-entries are reported but do not fail (so new benches can land before
-their baseline). Exit codes: 0 ok, 1 regression/mismatch, 2 usage or
-schema error.
+`tagnn.loadgen.v1` (tools/tagnn_loadgen) — latency ceilings. The
+baseline (schema `tagnn.serve_baseline.v1`, e.g.
+bench/baselines/serve_quick.json) pins serving budgets; unlike
+speedups these ARE wall-clock, so budgets are deliberately generous —
+they catch order-of-magnitude serving regressions (a lost batcher, an
+accidental O(n^2) in the request path), not percent-level drift:
+
+  * p50_ms/p90_ms/p99_ms — client-observed latency quantile ceilings,
+                 each scaled by (1 + latency-tolerance) (default 0).
+  * max_shed_rate — shed fraction ceiling for the run.
+  * errors     — any failed request fails the gate.
+  * min_qps    — optional closed-loop throughput floor.
+
+Every entry in a bench_regress baseline must be present in the result;
+extra result entries are reported but do not fail (so new benches can
+land before their baseline). Exit codes: 0 ok, 1 regression/mismatch,
+2 usage or schema error.
 """
 
 import argparse
@@ -37,14 +51,20 @@ import json
 import sys
 
 SCHEMA = "tagnn.bench_regress.v1"
+LOADGEN_SCHEMA = "tagnn.loadgen.v1"
+SERVE_BASELINE_SCHEMA = "tagnn.serve_baseline.v1"
 
 
-def load(path):
+def read_json(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as exc:
         sys.exit(f"bench_compare: cannot read {path}: {exc}")
+
+
+def load(path, doc=None):
+    doc = doc if doc is not None else read_json(path)
     if doc.get("schema") != SCHEMA:
         sys.exit(f"bench_compare: {path}: schema {doc.get('schema')!r}, "
                  f"expected {SCHEMA!r}")
@@ -63,6 +83,76 @@ def load(path):
     return entries, isa
 
 
+def compare_serve(result_doc, args):
+    """Latency-ceiling gate: tagnn.loadgen.v1 vs tagnn.serve_baseline.v1."""
+    base = read_json(args.baseline)
+    if base.get("schema") != SERVE_BASELINE_SCHEMA:
+        sys.exit(f"bench_compare: {args.baseline}: schema "
+                 f"{base.get('schema')!r}, expected "
+                 f"{SERVE_BASELINE_SCHEMA!r} for a loadgen result")
+    res = result_doc.get("result", {})
+    lat = res.get("latency_ms", {})
+    if not lat.get("count"):
+        sys.exit("bench_compare: loadgen result carries no latency samples")
+
+    scale = 1.0 + args.latency_tolerance
+    failures = []
+    rows = []
+    for q in ("p50", "p90", "p99"):
+        budget = base.get(f"{q}_ms")
+        if budget is None:
+            continue
+        ceil = budget * scale
+        observed = lat.get(q, 0.0)
+        ok = observed <= ceil
+        rows.append((f"{q}_ms", "ok" if ok else "LATENCY",
+                     f"{observed:.2f}", f"<= {ceil:.2f}"))
+        if not ok:
+            failures.append(
+                f"{q} latency {observed:.2f} ms > ceiling {ceil:.2f} ms "
+                f"(baseline {budget:g} ms, tolerance "
+                f"{args.latency_tolerance:.0%})")
+
+    max_shed = base.get("max_shed_rate")
+    if max_shed is not None:
+        shed = res.get("shed_rate", 0.0)
+        ok = shed <= max_shed
+        rows.append(("shed_rate", "ok" if ok else "SHED",
+                     f"{shed:.4f}", f"<= {max_shed:g}"))
+        if not ok:
+            failures.append(f"shed rate {shed:.4f} > ceiling {max_shed:g}")
+
+    errors = res.get("errors", 0)
+    rows.append(("errors", "ok" if errors == 0 else "ERRORS",
+                 f"{errors:g}", "== 0"))
+    if errors:
+        failures.append(f"{errors:g} failed request(s)")
+
+    min_qps = base.get("min_qps")
+    if min_qps is not None:
+        qps = res.get("achieved_qps", 0.0)
+        ok = qps >= min_qps
+        rows.append(("achieved_qps", "ok" if ok else "QPS",
+                     f"{qps:.1f}", f">= {min_qps:g}"))
+        if not ok:
+            failures.append(f"throughput {qps:.1f} qps < floor {min_qps:g}")
+
+    width = max(len(r[0]) for r in rows)
+    print(f"result: loadgen {result_doc.get('mode', '?')} mode, "
+          f"{lat.get('count', 0):g} samples")
+    print(f"{'metric':<{width}}  {'status':<8}  {'observed':>10}  {'budget':>12}")
+    for name, status, cur, budget in rows:
+        print(f"{name:<{width}}  {status:<8}  {cur:>10}  {budget:>12}")
+
+    if failures:
+        print()
+        for f in failures:
+            print(f"bench_compare: FAIL {f}")
+        return 1
+    print(f"bench_compare: {len(rows)} serving metrics within budget")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("result")
@@ -71,9 +161,16 @@ def main():
                     help="allowed relative speedup drop (default 0.15)")
     ap.add_argument("--cycles-tolerance", type=float, default=0.15,
                     help="allowed relative cycle increase (default 0.15)")
+    ap.add_argument("--latency-tolerance", type=float, default=0.0,
+                    help="extra headroom on serving latency ceilings "
+                         "(default 0)")
     args = ap.parse_args()
 
-    result, result_isa = load(args.result)
+    result_doc = read_json(args.result)
+    if result_doc.get("schema") == LOADGEN_SCHEMA:
+        return compare_serve(result_doc, args)
+
+    result, result_isa = load(args.result, result_doc)
     baseline, _ = load(args.baseline)
 
     failures = []

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Full correctness pipeline: builds and tests the default, asan-ubsan,
-# and tsan presets (all with -Werror), runs the tagnn_lint invariants
-# checker plus its negative self-test, the bench-regression gate, then
+# and tsan presets (all with -Werror), runs the live-telemetry and
+# serving smokes (tagnn_serve under tagnn_loadgen load, gated against
+# bench/baselines/serve_quick.json), the tagnn_lint invariants checker
+# plus its negative self-test, the bench-regression gate, then
 # clang-tidy via tools/lint.sh. Any warning, test failure, sanitizer
-# report, bench regression, or lint finding fails the script.
+# report, bench or serving regression, or lint finding fails the script.
 #
-# Usage: tools/ci.sh [--fast]
-#   --fast   default preset only (skip sanitizer builds, bench gate,
-#            clang-tidy; tagnn_lint still runs — it is sub-second)
+# Usage: tools/ci.sh [--fast | --smoke NAME [BUILD_DIR]]
+#   --fast         default preset only (skip sanitizer builds, bench
+#                  gate, clang-tidy; tagnn_lint still runs — it is
+#                  sub-second)
+#   --smoke NAME   run a single smoke (telemetry|live|serve) against an
+#                  existing build tree and exit — this is what the CI
+#                  smoke jobs call, so local and CI run identical logic
 #
 # Every step runs through `step`, which records wall time and the exact
 # failing step; the EXIT trap prints a timing summary either way and the
@@ -117,10 +123,19 @@ live_smoke() {
   # Default preset only: the signal-time dump path interacts with the
   # sanitizer runtimes' own crash handlers (the equivalent unit test
   # skips under ASan/TSan for the same reason).
+  # Artifacts land in $TAGNN_LIVE_SMOKE_DIR when set (CI uploads the
+  # flight-recorder dumps on failure), else a temp dir cleaned on
+  # success.
   # Same errexit caveat as telemetry_smoke: chain statuses explicitly.
   local build_dir="$1"
-  local dir
-  dir="$(mktemp -d)" || return 1
+  local dir cleanup=1
+  if [ -n "${TAGNN_LIVE_SMOKE_DIR:-}" ]; then
+    dir="$TAGNN_LIVE_SMOKE_DIR"
+    mkdir -p "$dir" || return 1
+    cleanup=0
+  else
+    dir="$(mktemp -d)" || return 1
+  fi
 
   # Positive leg: long linger so the scrapes race nothing; /quit ends it.
   "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
@@ -186,8 +201,169 @@ live_smoke() {
   "$build_dir/tools/json_validate" --jsonl "$dir/crash.jsonl" &&
   grep -q '"event": "begin"' "$dir/crash.jsonl" &&
   grep -q '"signal": 6' "$dir/crash.jsonl" || return 1
-  rm -rf "$dir"
+  [ "$cleanup" -eq 1 ] && rm -rf "$dir"
   echo "live smoke: endpoints valid, clean shutdown, crash dump parseable"
+}
+
+serve_smoke() {
+  # Serving smoke (docs/SERVING.md): a multi-tenant tagnn_serve instance
+  # must absorb a closed-loop load run with zero failed requests, serve
+  # a valid /slo.json, pass the pinned latency budgets in
+  # bench/baselines/serve_quick.json (with an injected-slowdown negative
+  # self-test of that gate), and shut down cleanly via /quit. A second
+  # instance with a deliberately tiny admission queue must shed an
+  # open-loop burst with explicit 429 backpressure — observable both in
+  # the loadgen summary and as a literal 'overloaded' reply body —
+  # rather than queueing without bound. Default preset only: the budgets
+  # are wall-clock and sanitizer slowdowns would need their own set
+  # (the TSan serve stress lives in tests/test_serve.cpp instead).
+  # Artifacts land in $TAGNN_SERVE_SMOKE_DIR when set (CI uploads them
+  # on failure), else a temp dir cleaned on success.
+  # Same errexit caveat as telemetry_smoke: chain statuses explicitly.
+  local build_dir="$1"
+  local dir cleanup=1
+  if [ -n "${TAGNN_SERVE_SMOKE_DIR:-}" ]; then
+    dir="$TAGNN_SERVE_SMOKE_DIR"
+    mkdir -p "$dir" || return 1
+    cleanup=0
+  else
+    dir="$(mktemp -d)" || return 1
+  fi
+
+  # Positive leg: two tenants, closed-loop load, SLO + budget gates.
+  "$build_dir/tools/tagnn_serve" --port 0 --tenants 2 \
+    --max-runtime-s 120 --flight-recorder "$dir/serve_flight.jsonl" \
+    > "$dir/serve.out" 2> "$dir/serve.log" &
+  local pid=$! port="" i
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/^live: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$dir/serve.log")"
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2> /dev/null; then
+      echo "serve smoke: server exited before announcing a port" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    kill "$pid" 2> /dev/null
+    echo "serve smoke: no 'live: listening' line within 10s" >&2
+    return 1
+  fi
+  # tagnn_loadgen exits nonzero on any failed request — that IS the
+  # zero-failures assertion.
+  "$build_dir/tools/tagnn_loadgen" --port "$port" --mode closed \
+    --duration-s 3 --concurrency 4 --out "$dir/loadgen.json" \
+    > /dev/null 2> "$dir/loadgen.log" &&
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /slo.json \
+    > "$dir/slo.json" &&
+  "$build_dir/tools/json_validate" "$dir/loadgen.json" "$dir/slo.json" &&
+  grep -q '"schema": "tagnn.slo.v1"' "$dir/slo.json" &&
+  grep -q '"schema": "tagnn.loadgen.v1"' "$dir/loadgen.json" &&
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /quit > /dev/null \
+    || { kill "$pid" 2> /dev/null; return 1; }
+  local rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "serve smoke: server exited $rc after /quit (want 0)" >&2
+    return 1
+  fi
+  # Latency-budget gate plus its negative self-test: a 100x-inflated
+  # copy of the same summary must be rejected, or the gate is blind.
+  python3 tools/bench_compare.py "$dir/loadgen.json" \
+    bench/baselines/serve_quick.json || return 1
+  python3 - "$dir/loadgen.json" <<'EOF' || return 1
+import json, subprocess, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+lat = doc["result"]["latency_ms"]
+for q in ("p50", "p90", "p99", "mean", "max"):
+    lat[q] = lat.get(q, 0) * 100.0
+slow = path + ".slow.json"
+json.dump(doc, open(slow, "w"))
+rc = subprocess.run(["python3", "tools/bench_compare.py", slow,
+                     "bench/baselines/serve_quick.json"],
+                    capture_output=True).returncode
+if rc == 0:
+    sys.exit("serve gate self-test: injected 100x slowdown not rejected")
+print("serve gate self-test: injected slowdown rejected as expected")
+EOF
+
+  # Negative leg: tiny admission queue under an open-loop burst.
+  "$build_dir/tools/tagnn_serve" --port 0 --tenants 1 --max-queue 1 \
+    --batch-window-ms 20 --max-runtime-s 120 \
+    > "$dir/shed_serve.out" 2> "$dir/shed_serve.log" &
+  pid=$!
+  port=""
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/^live: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$dir/shed_serve.log")"
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2> /dev/null; then
+      echo "serve smoke: shed-leg server exited before announcing" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    kill "$pid" 2> /dev/null
+    echo "serve smoke: shed-leg server never announced a port" >&2
+    return 1
+  fi
+  "$build_dir/tools/tagnn_loadgen" --port "$port" --mode open --qps 2000 \
+    --duration-s 2 --concurrency 8 --ingest-ratio 1 \
+    --out "$dir/shed.json" > /dev/null 2> "$dir/shed.log" \
+    || { kill "$pid" 2> /dev/null; return 1; }
+  python3 - "$dir/shed.json" <<'EOF' || { kill "$pid" 2> /dev/null; return 1; }
+import json, sys
+res = json.load(open(sys.argv[1]))["result"]
+if res["shed"] == 0:
+    sys.exit("serve smoke: burst against --max-queue 1 shed nothing")
+if res["errors"] != 0:
+    sys.exit(f"serve smoke: burst produced {res['errors']} hard errors "
+             "(sheds must be 429s, not failures)")
+print(f"serve smoke: burst shed {res['shed']} of {res['sent']} requests")
+EOF
+  # Backpressure must also be observable as an explicit 429 'overloaded'
+  # reply body, not just a counter.
+  python3 - "$port" <<'EOF' || { kill "$pid" 2> /dev/null; return 1; }
+import concurrent.futures, sys, urllib.error, urllib.request
+port = sys.argv[1]
+def post(_):
+    req = urllib.request.Request(
+        "http://127.0.0.1:%s/v1/ingest?tenant=t0" % port,
+        data=b'{"advance": 8}', method="POST")
+    try:
+        urllib.request.urlopen(req, timeout=30).read()
+        return None
+    except urllib.error.HTTPError as e:
+        return (e.code, e.read().decode())
+with concurrent.futures.ThreadPoolExecutor(8) as ex:
+    for hit in ex.map(post, range(64)):
+        if hit and hit[0] == 429 and "overloaded" in hit[1]:
+            print("serve smoke: observed explicit 429 overloaded reply")
+            sys.exit(0)
+sys.exit("serve smoke: no 429 'overloaded' response observed during burst")
+EOF
+  # The shed server's own accounting must agree, and it must still shut
+  # down cleanly after shedding (shed-then-recover).
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /slo.json \
+    > "$dir/shed_slo.json" &&
+  "$build_dir/tools/json_validate" "$dir/shed_slo.json" &&
+  python3 -c 'import json, sys
+req = json.load(open(sys.argv[1]))["requests"]
+sys.exit(0 if req["shed"] > 0 else "server /slo.json reports zero sheds")' \
+    "$dir/shed_slo.json" &&
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /quit > /dev/null \
+    || { kill "$pid" 2> /dev/null; return 1; }
+  rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "serve smoke: shed-leg server exited $rc after /quit (want 0)" >&2
+    return 1
+  fi
+  [ "$cleanup" -eq 1 ] && rm -rf "$dir"
+  echo "serve smoke: zero failures, budget gate + self-test, shed leg ok"
 }
 
 bench_gate() {
@@ -302,6 +478,20 @@ EOF
   echo "lint self-test: injected violations flagged as expected"
 }
 
+# Single-smoke entry point for the CI smoke jobs (and local debugging):
+# runs one smoke against an existing build tree instead of the full
+# pipeline, so .github/workflows/ci.yml never mirrors smoke logic.
+if [ "${1:-}" = "--smoke" ]; then
+  case "${2:-}" in
+    telemetry) step "telemetry smoke" telemetry_smoke "${3:-build}" ;;
+    live)      step "live smoke" live_smoke "${3:-build}" ;;
+    serve)     step "serve smoke" serve_smoke "${3:-build}" ;;
+    *) echo "ci.sh: unknown smoke '${2:-}' (want telemetry|live|serve)" >&2
+       exit 2 ;;
+  esac
+  exit 0
+fi
+
 for preset in "${presets[@]}"; do
   build_dir="build"
   [ "$preset" != "default" ] && build_dir="build-$preset"
@@ -318,6 +508,7 @@ for preset in "${presets[@]}"; do
   step "[$preset] telemetry smoke" telemetry_smoke "$build_dir"
   if [ "$preset" = "default" ]; then
     step "[$preset] live smoke" live_smoke "$build_dir"
+    step "[$preset] serve smoke" serve_smoke "$build_dir"
   fi
 done
 
