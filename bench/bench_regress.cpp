@@ -11,6 +11,7 @@
 // See docs/PERFORMANCE.md for the baseline-refresh procedure. The JSON
 // reports which kernel-registry variant served each op ("kernels"), so
 // the gate can key its speedup floors by ISA.
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -23,6 +24,7 @@
 #include "tensor/kernel_registry.hpp"
 #include "obs/analyze/ledger.hpp"
 #include "obs/live/sampler.hpp"
+#include "obs/mem/memtrack.hpp"
 #include "obs/telemetry.hpp"
 #include "nn/gcn.hpp"
 #include "tagnn/accelerator.hpp"
@@ -39,6 +41,10 @@ struct Entry {
   double macs = 0;    // deterministic work measure
   double bytes = 0;   // deterministic traffic measure
   double cycles = 0;  // simulated cycles (0 when not applicable)
+  // Tracked-allocation high-water across the whole bench (naive + opt
+  // sides), re-armed between benches. The memory-budget gate compares
+  // this against the baseline's mem_ceiling_bytes.
+  double mem_high_water = 0;
 
   double speedup() const {
     return opt.median_sec > 0 ? naive.median_sec / opt.median_sec : 0.0;
@@ -299,7 +305,9 @@ void write_json(const Options& o, const std::vector<Entry>& entries) {
        << "      \"iters\": " << e.naive.iters << ",\n"
        << "      \"macs\": " << e.macs << ",\n"
        << "      \"bytes\": " << e.bytes << ",\n"
-       << "      \"cycles\": " << e.cycles << "\n    }";
+       << "      \"cycles\": " << e.cycles << ",\n"
+       << "      \"mem_high_water_bytes\": " << e.mem_high_water
+       << "\n    }";
   }
   os << "\n  ]\n}\n";
   std::ofstream f(o.out);
@@ -326,11 +334,38 @@ int run(int argc, char** argv) {
             << " spmm=" << kernels::registry().active("spmm")
             << " vec=" << kernels::registry().active("vec") << "\n\n";
 
+  // CI negative self-test: TAGNN_MEM_BALLAST_MB charges that many MB of
+  // kBallast bytes for the life of the run. reserve() keeps the pages
+  // untouched (no RSS cost), but the tracked accounting sees them — so
+  // the memory gate must flag the run, proving the ceiling is live.
+  obs::mem::vec<char> ballast =
+      obs::mem::tagged<char>(obs::mem::Subsystem::kBallast);
+  if (const char* env = std::getenv("TAGNN_MEM_BALLAST_MB")) {
+    const unsigned long mb = std::strtoul(env, nullptr, 10);
+    if (mb > 0) {
+      ballast.reserve(mb * 1024ull * 1024ull);
+      std::cout << "ballast: charged " << mb
+                << " MB to the ballast subsystem (negative self-test)\n\n";
+    }
+  }
+
+  // Each bench reads the tracked high-water over exactly its own run:
+  // re-arm, run, snapshot. The ballast stays live across all of them.
+  const auto with_mem = [](Entry e) {
+    e.mem_high_water = static_cast<double>(
+        obs::mem::MemRegistry::global().snapshot().total_high_water_bytes());
+    return e;
+  };
   std::vector<Entry> entries;
-  entries.push_back(bench_gemm(o, iters));
-  entries.push_back(bench_gcn_layer(o, iters));
-  entries.push_back(bench_engine(o, std::max(1, iters / 2)));
-  entries.push_back(bench_engine_live_sampler(o, std::max(1, iters / 2)));
+  obs::mem::MemRegistry::global().reset_high_water();
+  entries.push_back(with_mem(bench_gemm(o, iters)));
+  obs::mem::MemRegistry::global().reset_high_water();
+  entries.push_back(with_mem(bench_gcn_layer(o, iters)));
+  obs::mem::MemRegistry::global().reset_high_water();
+  entries.push_back(with_mem(bench_engine(o, std::max(1, iters / 2))));
+  obs::mem::MemRegistry::global().reset_high_water();
+  entries.push_back(
+      with_mem(bench_engine_live_sampler(o, std::max(1, iters / 2))));
 
   Table tab({"kernel", "naive ms", "opt ms", "speedup", "mad %"});
   for (const Entry& e : entries) {
@@ -364,6 +399,7 @@ int run(int argc, char** argv) {
       rec.set(e.name + ".macs", e.macs);
       rec.set(e.name + ".bytes", e.bytes);
       rec.set(e.name + ".cycles", e.cycles);
+      rec.set(e.name + ".mem_high_water_bytes", e.mem_high_water);
     }
     rec.config_fingerprint = obs::analyze::fingerprint(canonical.str());
     obs::analyze::append_run_record(o.ledger, rec);

@@ -1,3 +1,6 @@
+// tagnn-lint: allow-file(memtrack-container) -- from_edges/from_csr take
+// plain std::vector (public API); the rows are copied into kCsr-tracked
+// storage before the graph is returned
 #include "graph/csr.hpp"
 
 #include <algorithm>
@@ -22,7 +25,8 @@ CsrGraph CsrGraph::from_edges(
   for (std::size_t i = 1; i < g.offsets_.size(); ++i)
     g.offsets_[i] += g.offsets_[i - 1];
   g.neighbors_.resize(edges.size());
-  std::vector<EdgeId> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  auto cursor = obs::mem::tagged<EdgeId>(obs::mem::Subsystem::kCsr);
+  cursor.assign(g.offsets_.begin(), g.offsets_.end() - 1);
   for (const auto& [u, v] : edges) g.neighbors_[cursor[u]++] = v;
   TAGNN_CHECK_INVARIANTS(g);
   return g;
@@ -38,8 +42,10 @@ CsrGraph CsrGraph::from_csr(std::vector<EdgeId> offsets,
                                neighbors.begin() + offsets[i + 1]));
   }
   CsrGraph g;
-  g.offsets_ = std::move(offsets);
-  g.neighbors_ = std::move(neighbors);
+  // The params use the default allocator (public API), so this is a
+  // copy into tracked storage, not a move — build-time only.
+  g.offsets_.assign(offsets.begin(), offsets.end());
+  g.neighbors_.assign(neighbors.begin(), neighbors.end());
   TAGNN_CHECK_INVARIANTS(g);
   return g;
 }

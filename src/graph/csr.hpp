@@ -1,6 +1,9 @@
 // Compressed Sparse Row adjacency for one graph snapshot.
 // Neighbour lists are kept sorted so snapshots can be diffed and edges
 // membership-tested in O(log deg).
+// tagnn-lint: allow-file(memtrack-container) -- from_edges/from_csr take
+// plain std::vector so callers build edge lists without depending on
+// obs_mem; the rows are copied into kCsr-tracked storage on construction
 #pragma once
 
 #include <span>
@@ -8,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/mem/memtrack.hpp"
 
 namespace tagnn {
 
@@ -62,8 +66,13 @@ class CsrGraph {
 
  private:
   friend struct TestPeer;
-  std::vector<EdgeId> offsets_;      // n + 1 entries
-  std::vector<VertexId> neighbors_;  // sorted within each row
+  // Adjacency storage is byte-accounted under kCsr; the public
+  // from_edges/from_csr signatures stay std::vector so callers build
+  // edge lists without pulling in the tracking layer.
+  obs::mem::vec<EdgeId> offsets_ =
+      obs::mem::tagged<EdgeId>(obs::mem::Subsystem::kCsr);  // n + 1 entries
+  obs::mem::vec<VertexId> neighbors_ = obs::mem::tagged<VertexId>(
+      obs::mem::Subsystem::kCsr);  // sorted within each row
 };
 
 }  // namespace tagnn

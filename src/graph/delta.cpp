@@ -43,17 +43,10 @@ SnapshotDelta diff_snapshots(const Snapshot& prev, const Snapshot& next) {
 
 namespace {
 
-void check_sorted_unique(const std::vector<VertexId>& xs, const char* what) {
+template <class Container>
+void check_sorted_unique(const Container& xs, const char* what) {
   for (std::size_t i = 1; i < xs.size(); ++i) {
     TAGNN_CHECK_MSG(xs[i - 1] < xs[i], what << " not sorted/unique at "
-                                            << i);
-  }
-}
-
-void check_sorted_unique(
-    const std::vector<std::pair<VertexId, VertexId>>& es, const char* what) {
-  for (std::size_t i = 1; i < es.size(); ++i) {
-    TAGNN_CHECK_MSG(es[i - 1] < es[i], what << " not sorted/unique at "
                                             << i);
   }
 }

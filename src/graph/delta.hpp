@@ -7,15 +7,25 @@
 #include <vector>
 
 #include "graph/snapshot.hpp"
+#include "obs/mem/memtrack.hpp"
 
 namespace tagnn {
 
 struct SnapshotDelta {
-  std::vector<std::pair<VertexId, VertexId>> added_edges;
-  std::vector<std::pair<VertexId, VertexId>> removed_edges;
-  std::vector<VertexId> feature_changed;  // vertices with mutated X rows
-  std::vector<VertexId> appeared;         // absent -> present
-  std::vector<VertexId> disappeared;      // present -> absent
+  // Change lists are byte-accounted under kDelta (the streaming-churn
+  // basis of the memory diagnosis); still an aggregate.
+  obs::mem::vec<std::pair<VertexId, VertexId>> added_edges =
+      obs::mem::tagged<std::pair<VertexId, VertexId>>(
+          obs::mem::Subsystem::kDelta);
+  obs::mem::vec<std::pair<VertexId, VertexId>> removed_edges =
+      obs::mem::tagged<std::pair<VertexId, VertexId>>(
+          obs::mem::Subsystem::kDelta);
+  obs::mem::vec<VertexId> feature_changed = obs::mem::tagged<VertexId>(
+      obs::mem::Subsystem::kDelta);  // vertices with mutated X rows
+  obs::mem::vec<VertexId> appeared = obs::mem::tagged<VertexId>(
+      obs::mem::Subsystem::kDelta);  // absent -> present
+  obs::mem::vec<VertexId> disappeared = obs::mem::tagged<VertexId>(
+      obs::mem::Subsystem::kDelta);  // present -> absent
 
   std::size_t total_edge_changes() const {
     return added_edges.size() + removed_edges.size();

@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/mem/memtrack.hpp"
 
 namespace tagnn {
 namespace {
@@ -116,6 +117,9 @@ DynamicGraph generate_dynamic_graph(const GeneratorConfig& cfg) {
     if (g.add_edge(u, v)) ++added;
   }
 
+  // Everything allocated through Matrix from here down is per-snapshot
+  // feature storage; charge it to kFeatures (see docs/OBSERVABILITY.md).
+  obs::mem::MemScope feature_scope(obs::mem::Subsystem::kFeatures);
   Matrix features(n, cfg.feature_dim);
   for (VertexId v = 0; v < n; ++v) redraw_feature_row(features, v, rng);
 

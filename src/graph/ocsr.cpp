@@ -12,6 +12,9 @@ OCsr OCsr::build(const DynamicGraph& g, Window window,
   const auto k = static_cast<std::size_t>(window.length);
   const std::size_t dim = g.feature_dim();
 
+  // The deduped feature table (a Matrix) belongs to the O-CSR, not to
+  // generic tensor scratch; the index arrays carry fixed kOcsr tags.
+  obs::mem::MemScope mem_scope(obs::mem::Subsystem::kOcsr);
   OCsr o;
   o.window_ = window;
   o.sindex_.reserve(sub.size());
@@ -114,7 +117,8 @@ void OCsr::validate() const {
   // the deliberate per-vertex sharing of slot K).
   TAGNN_CHECK_MSG(k == 0 || slot_of_.size() % (k + 1) == 0,
                   "slot table size not a multiple of window span");
-  std::vector<bool> used(features_.rows(), false);
+  auto used = obs::mem::tagged<bool>(obs::mem::Subsystem::kOcsr);
+  used.assign(features_.rows(), false);
   for (std::size_t i = 0; i < slot_of_.size(); ++i) {
     const std::uint32_t s = slot_of_[i];
     if (s == kNoSlot) continue;

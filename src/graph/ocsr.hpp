@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/affected_subgraph.hpp"
+#include "obs/mem/memtrack.hpp"
 #include "tensor/matrix.hpp"
 
 namespace tagnn {
@@ -80,18 +81,27 @@ class OCsr {
   friend struct TestPeer;
   std::uint32_t feature_slot(VertexId v, SnapshotId t) const;
 
+  // Index arrays are byte-accounted under kOcsr; features_ is a Matrix
+  // whose bytes land wherever the enclosing MemScope points (build()
+  // runs under MemScope(kOcsr)).
   Window window_;
-  std::vector<VertexId> sindex_;
-  std::vector<EdgeId> row_start_;  // prefix sums of enum_counts_
-  std::vector<VertexId> tindex_;
-  std::vector<SnapshotId> timestamps_;
-  std::vector<std::uint32_t> enum_counts_;
+  obs::mem::vec<VertexId> sindex_ =
+      obs::mem::tagged<VertexId>(obs::mem::Subsystem::kOcsr);
+  obs::mem::vec<EdgeId> row_start_ = obs::mem::tagged<EdgeId>(
+      obs::mem::Subsystem::kOcsr);  // prefix sums of enum_counts_
+  obs::mem::vec<VertexId> tindex_ =
+      obs::mem::tagged<VertexId>(obs::mem::Subsystem::kOcsr);
+  obs::mem::vec<SnapshotId> timestamps_ =
+      obs::mem::tagged<SnapshotId>(obs::mem::Subsystem::kOcsr);
+  obs::mem::vec<std::uint32_t> enum_counts_ =
+      obs::mem::tagged<std::uint32_t>(obs::mem::Subsystem::kOcsr);
 
   // Feature table: slot_of_[v * (K + 1) + k] is the row of v's feature
   // at window snapshot k; slot K is the shared row of feature-stable
   // vertices. kNoSlot where absent.
   static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
-  std::vector<std::uint32_t> slot_of_;
+  obs::mem::vec<std::uint32_t> slot_of_ =
+      obs::mem::tagged<std::uint32_t>(obs::mem::Subsystem::kOcsr);
   Matrix features_;
 };
 

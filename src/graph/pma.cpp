@@ -123,8 +123,8 @@ std::size_t Pma::window_count(std::size_t first_seg,
 
 void Pma::redistribute(std::size_t first_seg, std::size_t num_segs) {
   const std::size_t total = window_count(first_seg, num_segs);
-  std::vector<std::uint64_t> ks;
-  std::vector<std::uint32_t> vs;
+  auto ks = obs::mem::tagged<std::uint64_t>(obs::mem::Subsystem::kPma);
+  auto vs = obs::mem::tagged<std::uint32_t>(obs::mem::Subsystem::kPma);
   ks.reserve(total);
   vs.reserve(total);
   for (std::size_t s = first_seg; s < first_seg + num_segs; ++s) {
@@ -153,8 +153,8 @@ void Pma::redistribute(std::size_t first_seg, std::size_t num_segs) {
 }
 
 void Pma::resize_segments(std::size_t new_num_segments) {
-  std::vector<std::uint64_t> ks;
-  std::vector<std::uint32_t> vs;
+  auto ks = obs::mem::tagged<std::uint64_t>(obs::mem::Subsystem::kPma);
+  auto vs = obs::mem::tagged<std::uint32_t>(obs::mem::Subsystem::kPma);
   ks.reserve(count_);
   vs.reserve(count_);
   for (std::size_t s = 0; s < num_segments(); ++s) {

@@ -18,6 +18,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/mem/memtrack.hpp"
+
 namespace tagnn {
 
 class Pma {
@@ -84,9 +86,14 @@ class Pma {
 
   std::size_t segment_size_;
   std::size_t count_ = 0;
-  std::vector<std::uint64_t> keys_;    // slot array; only packed prefixes valid
-  std::vector<std::uint32_t> values_;  // parallel payloads
-  std::vector<std::uint32_t> seg_count_;  // packed prefix length per segment
+  // Slot storage is byte-accounted under obs::mem::Subsystem::kPma
+  // (docs/OBSERVABILITY.md, "Memory observability").
+  obs::mem::vec<std::uint64_t> keys_ = obs::mem::tagged<std::uint64_t>(
+      obs::mem::Subsystem::kPma);  // slot array; only packed prefixes valid
+  obs::mem::vec<std::uint32_t> values_ = obs::mem::tagged<std::uint32_t>(
+      obs::mem::Subsystem::kPma);  // parallel payloads
+  obs::mem::vec<std::uint32_t> seg_count_ = obs::mem::tagged<std::uint32_t>(
+      obs::mem::Subsystem::kPma);  // packed prefix length per segment
 };
 
 }  // namespace tagnn

@@ -281,6 +281,7 @@ constexpr std::string_view kRuleContract = "bitexact-contract";
 constexpr std::string_view kRuleAccum = "bitexact-accum-tag";
 constexpr std::string_view kRuleEntropy = "determinism-entropy";
 constexpr std::string_view kRuleClock = "determinism-clock";
+constexpr std::string_view kRuleMemtrack = "memtrack-container";
 constexpr std::string_view kRuleSuppression = "suppression-format";
 
 // ---------------------------------------------------------------------------
@@ -303,11 +304,12 @@ const LayerSpec* layer_of(const LintConfig& cfg, std::string_view path) {
   return nullptr;
 }
 
-const LayerSpec* layer_by_dir(const LintConfig& cfg, std::string_view dir) {
-  for (const LayerSpec& l : cfg.layers) {
-    if (l.path == dir) return &l;
-  }
-  return nullptr;
+// Include targets resolve with the same first-matching-prefix rule as
+// file attribution, so nested layers (obs_live, obs_mem) are seen as
+// themselves rather than folding into their parent directory's layer.
+const LayerSpec* layer_of_include(const LintConfig& cfg,
+                                  std::string_view inc_path) {
+  return layer_of(cfg, "src/" + std::string(inc_path));
 }
 
 std::string trim(std::string_view s) {
@@ -445,7 +447,8 @@ const std::vector<std::string>& known_rules() {
       std::string(kRuleAlloc),    std::string(kRuleLock),
       std::string(kRuleFma),      std::string(kRuleContract),
       std::string(kRuleAccum),    std::string(kRuleEntropy),
-      std::string(kRuleClock),    std::string(kRuleSuppression)};
+      std::string(kRuleClock),    std::string(kRuleMemtrack),
+      std::string(kRuleSuppression)};
   return rules;
 }
 
@@ -465,6 +468,9 @@ FileScan scan_source(const std::string& path, std::string_view content,
   const bool hot =
       std::find(cfg.hotpath_paths.begin(), cfg.hotpath_paths.end(), path) !=
       cfg.hotpath_paths.end();
+  const bool memtrack =
+      std::find(cfg.memtrack_paths.begin(), cfg.memtrack_paths.end(), path) !=
+      cfg.memtrack_paths.end();
   const bool det_allowed = [&] {
     for (const std::string& a : cfg.determinism_allow) {
       if (path_starts_with(path, a)) return true;
@@ -490,8 +496,7 @@ FileScan scan_source(const std::string& path, std::string_view content,
       if (inc.system) continue;
       const std::size_t slash = inc.path.find('/');
       if (slash == std::string::npos) continue;  // sibling include
-      const LayerSpec* target =
-          layer_by_dir(cfg, "src/" + inc.path.substr(0, slash));
+      const LayerSpec* target = layer_of_include(cfg, inc.path);
       if (target == nullptr || target == own) continue;
       if (std::find(own->allow.begin(), own->allow.end(), target->name) !=
           own->allow.end()) {
@@ -647,6 +652,40 @@ FileScan scan_source(const std::string& path, std::string_view content,
                    "()') outside the telemetry allowlist; simulated time "
                    "must come from the cycle model, not the host clock",
                ""});
+      }
+    }
+
+    if (memtrack) {
+      // Storage TUs listed in [memtrack] feed the per-subsystem byte
+      // accounting (/memory.json); a bare std::vector or raw new[]
+      // holds bytes the tracker never sees, so the scale projection
+      // silently under-reports.
+      if (t.text == "vector" && prev != nullptr && prev->text == "::" &&
+          i >= 2 && toks[i - 2].kind == Tok::Kind::kIdent &&
+          toks[i - 2].text == "std") {
+        route(fs, sups,
+              {std::string(kRuleMemtrack), path, t.line,
+               "bare std::vector in a [memtrack] storage TU; use "
+               "obs::mem::vec so the bytes are attributed to a subsystem "
+               "in /memory.json (docs/OBSERVABILITY.md)",
+               ""});
+      }
+      if (t.text == "new" && !member) {
+        // `new T[n]` — a '[' among the type tokens before any
+        // initializer/terminator punctuation marks an array form.
+        for (std::size_t j = i + 1; j < toks.size() && j <= i + 8; ++j) {
+          const Tok& nx = toks[j];
+          if (nx.kind != Tok::Kind::kPunct || nx.text == "::") continue;
+          if (nx.text == "[") {
+            route(fs, sups,
+                  {std::string(kRuleMemtrack), path, t.line,
+                   "raw 'new[]' in a [memtrack] storage TU; array storage "
+                   "must use obs::mem::vec (TrackedAllocator) so the bytes "
+                   "are attributed in /memory.json (docs/OBSERVABILITY.md)",
+                   ""});
+          }
+          break;  // first punct after the type name decides the form
+        }
       }
     }
 
@@ -888,7 +927,8 @@ bool parse_manifest(std::string_view text, LintConfig* out,
         }
         cfg.layers.push_back({name, "", {}});
         layer = &cfg.layers.back();
-      } else if (section != "hotpath" && section != "determinism") {
+      } else if (section != "hotpath" && section != "determinism" &&
+                 section != "memtrack") {
         return fail(lineno, "unknown section '" + section + "'");
       }
       continue;
@@ -915,6 +955,8 @@ bool parse_manifest(std::string_view text, LintConfig* out,
       cfg.hotpath_paths = vals;
     } else if (section == "determinism" && key == "allow") {
       cfg.determinism_allow = vals;
+    } else if (section == "memtrack" && key == "paths") {
+      cfg.memtrack_paths = vals;
     } else {
       return fail(lineno,
                   "key '" + key + "' outside a known section/key pair");

@@ -16,6 +16,10 @@
 //   bitexact-*     no FMA anywhere, -ffp-contract=off on SIMD TUs,
 //                  shared accumulation-order tags on kernel variants
 //   determinism-*  no entropy or wall-clock reads outside the allowlist
+//   memtrack-*     graph-storage TUs listed in [memtrack] must keep
+//                  their bytes visible to the memory-observability
+//                  plane: no bare std::vector or raw new[] that would
+//                  escape the per-subsystem accounting
 //   suppression-*  inline suppressions must carry a reason
 //
 // Inline suppression syntax (counted and reported, never silent):
@@ -63,6 +67,7 @@ struct LintConfig {
   std::vector<LayerSpec> layers;
   std::vector<std::string> hotpath_paths;      // exact repo-relative files
   std::vector<std::string> determinism_allow;  // path prefixes
+  std::vector<std::string> memtrack_paths;     // exact repo-relative files
 };
 
 /// Parses the tools/layering.toml manifest (a small TOML subset:

@@ -191,6 +191,72 @@ std::string sparkline_svg(const std::vector<RunRecord>& ledger,
   return s.str();
 }
 
+std::string fmt_bytes(double v) {
+  char buf[48];
+  if (v >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", v / (1024.0 * 1024.0 * 1024.0));
+  } else if (v >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", v / (1024.0 * 1024.0));
+  } else if (v >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", v / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", v);
+  }
+  return buf;
+}
+
+// --- Memory: per-subsystem high-water bars plus the scale projection
+// table from diagnosis.memory. ---
+std::string memory_section(const HtmlReportInputs& in) {
+  std::ostringstream s;
+  if (!in.has_memory) {
+    s << "<p>No memory diagnosis in the run report (older report or "
+         "shape unknown).</p>\n";
+    return s.str();
+  }
+  const MemDiagnosis& d = in.memory;
+  s << "<p>Observed high-water "
+    << fmt_bytes(static_cast<double>(d.observed_total_bytes));
+  if (d.has_fit) {
+    s << " at scale " << fmt(d.observed_scale) << " (" << d.vertices
+      << " vertices, " << d.edges << " edges over " << d.snapshots
+      << " snapshots; " << fmt(d.bytes_per_vertex)
+      << " B/vertex, " << fmt(d.bytes_per_edge)
+      << " B/edge). Projected to scale " << fmt(d.target_scale) << ": "
+      << (d.over_budget ? "<span class=\"mem-over\">" : "<strong>")
+      << fmt_bytes(static_cast<double>(d.projected_total_bytes))
+      << (d.over_budget ? "</span>" : "</strong>") << " against a "
+      << fmt_bytes(static_cast<double>(d.budget_bytes)) << " budget";
+    if (d.over_budget) {
+      s << " &mdash; <span class=\"mem-over\">over budget; <code>"
+        << html_escape(d.first_over_budget)
+        << "</code> blows it first</span>";
+    } else {
+      s << " &mdash; fits";
+    }
+    s << ".</p>\n";
+  } else {
+    s << "; workload shape unknown, so no per-scale projection.</p>\n";
+  }
+  if (d.fits.empty()) {
+    s << "<p>No subsystem recorded tracked bytes.</p>\n";
+    return s.str();
+  }
+  s << "<table>\n<tr><th>subsystem</th><th>high-water</th><th>basis</th>"
+       "<th>bytes/basis</th><th>projected @ "
+    << fmt(d.target_scale) << "</th></tr>\n";
+  for (const SubsystemFit& f : d.fits) {
+    s << "<tr><td><code>" << html_escape(f.subsystem) << "</code></td><td>"
+      << fmt_bytes(static_cast<double>(f.high_water_bytes)) << "</td><td>"
+      << (f.basis.empty() ? "&mdash;" : html_escape(f.basis)) << "</td><td>"
+      << (f.basis.empty() ? std::string("&mdash;") : fmt(f.bytes_per_basis))
+      << "</td><td>" << fmt_bytes(static_cast<double>(f.projected_bytes))
+      << "</td></tr>\n";
+  }
+  s << "</table>\n";
+  return s.str();
+}
+
 std::string pick_sparkline_metric(const HtmlReportInputs& in) {
   if (!in.sparkline_metric.empty()) return in.sparkline_metric;
   if (in.ledger.empty()) return "";
@@ -224,7 +290,13 @@ std::string data_block_json(const HtmlReportInputs& in,
     os << (i ? ", " : "");
     write_cycle_stack_json(os, in.stacks[i], 2);
   }
-  os << "],\n  \"ledger\": {\"entries\": " << in.ledger.size()
+  os << "],\n  \"memory\": ";
+  if (in.has_memory) {
+    write_memory_diagnosis_json(os, in.memory);
+  } else {
+    os << "null";
+  }
+  os << ",\n  \"ledger\": {\"entries\": " << in.ledger.size()
      << ", \"sparkline_metric\": \"" << spark_metric
      << "\", \"drift\": [";
   for (std::size_t i = 0; i < in.drift.size(); ++i) {
@@ -295,7 +367,8 @@ std::string render_html_report(const HtmlReportInputs& in) {
         "border:1px solid #ddd;text-align:left}\n"
      << ".verdict-memory-bound{color:#c23b80;font-weight:600}\n"
      << ".verdict-compute-bound{color:#1b8a6b;font-weight:600}\n"
-     << ".drift{color:#b00020}\nsvg{max-width:100%;height:auto}\n"
+     << ".drift{color:#b00020}\n.mem-over{color:#b00020;font-weight:600}\n"
+        "svg{max-width:100%;height:auto}\n"
      << "li.hint{margin:.25rem 0}\n</style>\n</head>\n<body>\n"
      << "<h1>" << html_escape(in.title) << "</h1>\n";
 
@@ -349,6 +422,10 @@ std::string render_html_report(const HtmlReportInputs& in) {
     os << "</ul>\n";
   }
   os << "</section>\n";
+
+  // Memory.
+  os << "<section id=\"memory\">\n<h2>Memory</h2>\n"
+     << memory_section(in) << "</section>\n";
 
   // Ledger.
   os << "<section id=\"ledger\">\n<h2>Run ledger</h2>\n";

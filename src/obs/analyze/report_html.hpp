@@ -13,6 +13,7 @@
 
 #include "obs/analyze/cycle_stack.hpp"
 #include "obs/analyze/ledger.hpp"
+#include "obs/analyze/memfit.hpp"
 #include "obs/analyze/roofline.hpp"
 
 namespace tagnn::obs::analyze {
@@ -32,12 +33,16 @@ struct HtmlReportInputs {
   std::string sparkline_metric;
   /// Link target for the Chrome trace ("" = section omitted link).
   std::string trace_path;
+  /// diagnosis.memory from the run report; rendered only when
+  /// has_memory is set (the section still appears, with a placeholder).
+  MemDiagnosis memory;
+  bool has_memory = false;
 };
 
-/// Renders the full document. Always emits the five sections
-/// (summary, roofline, cycle-stacks, ledger, report-data), each with a
-/// stable id, even when its inputs are empty — consumers grep for the
-/// ids.
+/// Renders the full document. Always emits the six sections
+/// (summary, roofline, cycle-stacks, memory, ledger, report-data),
+/// each with a stable id, even when its inputs are empty — consumers
+/// grep for the ids.
 std::string render_html_report(const HtmlReportInputs& in);
 
 /// Escapes text for HTML body/attribute contexts.

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "obs/jsonv.hpp"
+#include "obs/mem/memtrack.hpp"
 #include "obs/metrics.hpp"
 
 namespace tagnn::obs::live {
@@ -126,6 +127,9 @@ void FlightRecorder::reset_for_test() {
   dumped_.store(false, std::memory_order_release);
   next_seq_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  mem_rss_.store(0, std::memory_order_relaxed);
+  mem_maxrss_.store(0, std::memory_order_relaxed);
+  mem_top_count_.store(0, std::memory_order_relaxed);
   for (Slot& s : slots_) {
     s.stamp.store(0, std::memory_order_relaxed);
     s.len.store(0, std::memory_order_relaxed);
@@ -176,9 +180,25 @@ void FlightRecorder::write_slots(int fd) {
   }
 }
 
+void FlightRecorder::note_memory(std::uint64_t rss_bytes,
+                                 std::uint64_t maxrss_bytes,
+                                 const std::uint32_t* top_subsystems,
+                                 const std::uint64_t* top_bytes,
+                                 std::size_t count) {
+  mem_rss_.store(rss_bytes, std::memory_order_relaxed);
+  mem_maxrss_.store(maxrss_bytes, std::memory_order_relaxed);
+  if (count > kMemTop) count = kMemTop;
+  for (std::size_t i = 0; i < count; ++i) {
+    mem_top_sub_[i].store(top_subsystems[i], std::memory_order_relaxed);
+    mem_top_bytes_[i].store(top_bytes[i], std::memory_order_relaxed);
+  }
+  mem_top_count_.store(static_cast<std::uint32_t>(count),
+                       std::memory_order_relaxed);
+}
+
 void FlightRecorder::write_end_marker(int fd, const char* cause,
                                       long signal_number) {
-  char buf[256];
+  char buf[512];
   std::size_t n = 0;
   auto lit = [&](const char* s) {
     const std::size_t l = std::strlen(s);
@@ -193,7 +213,29 @@ void FlightRecorder::write_end_marker(int fd, const char* cause,
   n += u64_to_dec(next_seq_.load(std::memory_order_relaxed), buf + n);
   lit(", \"dropped_oversize\": ");
   n += u64_to_dec(dropped_.load(std::memory_order_relaxed), buf + n);
-  lit("}\n");
+  // Last-breath memory figures published by the sampler (note_memory).
+  // subsystem_name() is a switch over an enum returning string
+  // literals — async-signal-safe.
+  lit(", \"rss_bytes\": ");
+  n += u64_to_dec(mem_rss_.load(std::memory_order_relaxed), buf + n);
+  lit(", \"maxrss_bytes\": ");
+  n += u64_to_dec(mem_maxrss_.load(std::memory_order_relaxed), buf + n);
+  lit(", \"mem_top\": [");
+  std::uint32_t top = mem_top_count_.load(std::memory_order_relaxed);
+  if (top > kMemTop) top = kMemTop;
+  std::uint32_t emitted = 0;
+  for (std::uint32_t i = 0; i < top; ++i) {
+    const std::uint32_t sub = mem_top_sub_[i].load(std::memory_order_relaxed);
+    if (sub >= mem::kNumSubsystems) continue;
+    if (emitted++ > 0) lit(", ");
+    lit("{\"subsystem\": \"");
+    lit(mem::subsystem_name(static_cast<mem::Subsystem>(sub)));
+    lit("\", \"bytes\": ");
+    n += u64_to_dec(mem_top_bytes_[i].load(std::memory_order_relaxed),
+                    buf + n);
+    lit("}");
+  }
+  lit("]}\n");
   safe_write(fd, buf, n);
 }
 

@@ -45,6 +45,19 @@ class FlightRecorder {
   /// invalid JSON.
   void record_line(std::string_view compact_json);
 
+  /// Subsystem slots reported in the end marker's "mem_top" array.
+  static constexpr std::size_t kMemTop = 3;
+
+  /// Normal-context publisher: the sampler pushes the latest process
+  /// RSS/maxrss and the top tracked subsystems here each tick, so the
+  /// async-signal-safe end marker can report memory state at death
+  /// without reading /proc or taking the registry mutex. Fields are
+  /// individually atomic; a crash mid-update may mix two ticks, which
+  /// is acceptable for a last-breath dump.
+  void note_memory(std::uint64_t rss_bytes, std::uint64_t maxrss_bytes,
+                   const std::uint32_t* top_subsystems,
+                   const std::uint64_t* top_bytes, std::size_t count);
+
   /// Normal-context dump: ring slots, a final full registry scrape, and
   /// an end marker with `cause`. Used by the terminate hook and tests.
   void dump_now(const char* cause);
@@ -82,6 +95,12 @@ class FlightRecorder {
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<bool> dumped_{false};  // first crash path wins
+  // Latest memory figures from note_memory(), read by the end marker.
+  std::atomic<std::uint64_t> mem_rss_{0};
+  std::atomic<std::uint64_t> mem_maxrss_{0};
+  std::atomic<std::uint32_t> mem_top_count_{0};
+  std::atomic<std::uint32_t> mem_top_sub_[kMemTop] = {};
+  std::atomic<std::uint64_t> mem_top_bytes_[kMemTop] = {};
   Slot slots_[kSlots];
 };
 

@@ -8,6 +8,7 @@
 #include "obs/jsonv.hpp"
 #include "obs/live/flight_recorder.hpp"
 #include "obs/live/openmetrics.hpp"
+#include "obs/mem/memtrack.hpp"
 #include "obs/metrics.hpp"
 
 namespace tagnn::obs::live {
@@ -43,6 +44,15 @@ bool LivePlane::start(std::string* error) {
     });
     server_.handle("/snapshot.json", [this](const std::string&) {
       return on_snapshot();
+    });
+    server_.handle("/memory.json", [](const std::string&) {
+      // Fresh registry read (not the sampler ring): byte accounting is
+      // always on, so /memory.json works even with telemetry gated off.
+      std::ostringstream os;
+      mem::write_memory_json(os, mem::MemRegistry::global().snapshot(),
+                             mem::read_process_mem());
+      os << "\n";
+      return HttpResponse{200, "application/json; charset=utf-8", os.str()};
     });
     server_.handle("/healthz", [](const std::string&) {
       return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};

@@ -6,6 +6,9 @@
 // Endpoints (loopback only):
 //   /metrics        OpenMetrics text exposition of the latest sample
 //   /snapshot.json  the latest tagnn.live.v1 document (plus ring meta)
+//   /memory.json    tagnn.mem.v1: per-subsystem/domain byte accounting
+//                   plus process RSS (fresh read, works when telemetry
+//                   is gated off)
 //   /healthz        "ok\n" liveness probe
 //   /quit           releases wait_linger() so CI can shut a host down
 //                   deterministically ("ok, quitting\n")

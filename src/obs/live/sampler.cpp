@@ -8,6 +8,7 @@
 
 #include "obs/jsonv.hpp"
 #include "obs/live/flight_recorder.hpp"
+#include "obs/mem/memtrack.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 
@@ -51,6 +52,68 @@ std::string json_escape(std::string_view s) {
     }
   }
   return out;
+}
+
+// Publishes the memory registry + process figures as tagnn.mem.*
+// gauges so they ride the regular metrics snapshot (→ /metrics,
+// /snapshot.json, tagnn_top), and pushes the same numbers into the
+// flight recorder for the async-signal-safe crash dump. Returns the
+// top subsystems by live bytes for the live.v1 line's "mem" object.
+struct MemTick {
+  mem::ProcessMemStats proc;
+  std::uint64_t tracked_live = 0;
+  std::size_t top_count = 0;
+  std::uint32_t top_sub[FlightRecorder::kMemTop] = {};
+  std::uint64_t top_bytes[FlightRecorder::kMemTop] = {};
+};
+
+MemTick publish_mem_tick() {
+  MemTick t;
+  const mem::MemSnapshot snap = mem::MemRegistry::global().snapshot();
+  t.proc = mem::read_process_mem();
+  t.tracked_live = snap.total_live_bytes();
+  for (std::size_t i = 0; i < mem::kNumSubsystems; ++i) {
+    const auto sub = static_cast<mem::Subsystem>(i);
+    const mem::SubsystemStats& st = snap.subsystems[i];
+    // Never-used subsystems stay out of the registry (no gauge noise);
+    // once seen, a gauge keeps reporting even at live == 0.
+    if (st.high_water_bytes == 0) continue;
+    const std::string base =
+        std::string("tagnn.mem.") + mem::subsystem_name(sub);
+    gauge_set(base + ".live_bytes", static_cast<double>(st.live_bytes));
+    gauge_set(base + ".high_water_bytes",
+              static_cast<double>(st.high_water_bytes));
+    // Insertion sort into the top-N by live bytes.
+    std::size_t pos = t.top_count;
+    while (pos > 0 && t.top_bytes[pos - 1] < st.live_bytes) --pos;
+    if (pos < FlightRecorder::kMemTop && st.live_bytes > 0) {
+      const std::size_t end =
+          t.top_count < FlightRecorder::kMemTop ? t.top_count
+                                                : FlightRecorder::kMemTop - 1;
+      for (std::size_t j = end; j > pos; --j) {
+        t.top_sub[j] = t.top_sub[j - 1];
+        t.top_bytes[j] = t.top_bytes[j - 1];
+      }
+      t.top_sub[pos] = static_cast<std::uint32_t>(i);
+      t.top_bytes[pos] = st.live_bytes;
+      if (t.top_count < FlightRecorder::kMemTop) ++t.top_count;
+    }
+  }
+  gauge_set("tagnn.mem.tracked.live_bytes",
+            static_cast<double>(t.tracked_live));
+  gauge_set("tagnn.mem.tracked.high_water_bytes",
+            static_cast<double>(snap.total_high_water_bytes()));
+  if (t.proc.ok) {
+    gauge_set("tagnn.mem.process.rss_bytes",
+              static_cast<double>(t.proc.rss_bytes));
+    gauge_set("tagnn.mem.process.maxrss_bytes",
+              static_cast<double>(t.proc.maxrss_bytes));
+    gauge_set("tagnn.mem.process.vsize_bytes",
+              static_cast<double>(t.proc.vsize_bytes));
+  }
+  FlightRecorder::global().note_memory(t.proc.rss_bytes, t.proc.maxrss_bytes,
+                                       t.top_sub, t.top_bytes, t.top_count);
+  return t;
 }
 
 }  // namespace
@@ -103,6 +166,9 @@ LiveSample LiveSampler::make_sample() {
   s.wall_unix_ms = wall_unix_ms();
   s.uptime_s = now - start_mono_s_;
   s.interval_s = have_prev_ ? now - prev_mono_s_ : 0.0;
+  // Memory gauges go into the registry first so the scrape below picks
+  // them up in the same tick.
+  const MemTick mem_tick = publish_mem_tick();
   s.snapshot = MetricsRegistry::global().snapshot();
 
   // Reset-tolerant rates for every counter and every histogram's event
@@ -147,7 +213,18 @@ LiveSample LiveSampler::make_sample() {
     os << '"' << json_escape(s.rates[i].first) << "\": ";
     write_json_number(os, s.rates[i].second);
   }
-  os << "}, \"metrics\": ";
+  os << "}, \"mem\": {\"rss_bytes\": " << mem_tick.proc.rss_bytes
+     << ", \"maxrss_bytes\": " << mem_tick.proc.maxrss_bytes
+     << ", \"tracked_live_bytes\": " << mem_tick.tracked_live
+     << ", \"top\": [";
+  for (std::size_t i = 0; i < mem_tick.top_count; ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"subsystem\": \""
+       << mem::subsystem_name(
+              static_cast<mem::Subsystem>(mem_tick.top_sub[i]))
+       << "\", \"live_bytes\": " << mem_tick.top_bytes[i] << "}";
+  }
+  os << "]}, \"metrics\": ";
   s.snapshot.write_metrics_object_compact(os);
   os << "}";
   s.json = os.str();

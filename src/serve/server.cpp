@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "obs/jsonv.hpp"
+#include "obs/mem/memtrack.hpp"
 
 namespace tagnn::serve {
 
@@ -266,6 +267,7 @@ std::string ServeCore::slo_json() const {
   obs::write_json_number(os, denom > 0 ? static_cast<double>(t.shed) / denom
                                        : 0.0);
   os << ", \"ok\": " << (ok ? "true" : "false") << ", \"tenants\": [";
+  const auto mem = obs::mem::MemRegistry::global().snapshot();
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     const TenantHost& host = *hosts_[i];
     std::uint64_t accepted, completed, shed;
@@ -277,6 +279,9 @@ std::string ServeCore::slo_json() const {
       shed = host.shed;
       depth = host.queue.size();
     }
+    const auto dom = static_cast<std::size_t>(host.tenant.mem_domain());
+    const obs::mem::DomainStats mem_stats =
+        dom < mem.domains.size() ? mem.domains[dom] : obs::mem::DomainStats{};
     if (i != 0) os << ", ";
     os << "{\"name\": \"" << json_escape(host.tenant.name())
        << "\", \"accepted\": " << accepted << ", \"completed\": " << completed
@@ -284,7 +289,9 @@ std::string ServeCore::slo_json() const {
        << ", \"queue_limit\": " << host.tenant.config().max_queue
        << ", \"epoch\": " << host.epoch.load(std::memory_order_relaxed)
        << ", \"snapshots\": "
-       << host.snapshots.load(std::memory_order_relaxed) << "}";
+       << host.snapshots.load(std::memory_order_relaxed)
+       << ", \"bytes_live\": " << mem_stats.live_bytes
+       << ", \"bytes_high_water\": " << mem_stats.high_water_bytes << "}";
   }
   os << "]}\n";
   return os.str();
@@ -293,6 +300,7 @@ std::string ServeCore::slo_json() const {
 std::string ServeCore::tenants_json() const {
   std::ostringstream os;
   os << "{\"schema\": \"" << kTenantsSchema << "\", \"tenants\": [";
+  const auto mem = obs::mem::MemRegistry::global().snapshot();
   for (std::size_t i = 0; i < hosts_.size(); ++i) {
     const TenantHost& host = *hosts_[i];
     const TenantConfig& cfg = host.tenant.config();
@@ -300,6 +308,9 @@ std::string ServeCore::tenants_json() const {
     os << "{\"name\": \"" << json_escape(cfg.name) << "\", \"dataset\": \""
        << json_escape(cfg.dataset) << "\", \"scale\": ";
     obs::write_json_number(os, cfg.scale);
+    const auto dom = static_cast<std::size_t>(host.tenant.mem_domain());
+    const obs::mem::DomainStats mem_stats =
+        dom < mem.domains.size() ? mem.domains[dom] : obs::mem::DomainStats{};
     os << ", \"model\": \"" << json_escape(cfg.model)
        << "\", \"window\": " << cfg.engine.window_size
        << ", \"stream_snapshots\": " << cfg.stream_snapshots
@@ -307,7 +318,9 @@ std::string ServeCore::tenants_json() const {
        << ", \"num_vertices\": " << host.tenant.stream().num_vertices()
        << ", \"epoch\": " << host.epoch.load(std::memory_order_relaxed)
        << ", \"snapshots\": "
-       << host.snapshots.load(std::memory_order_relaxed) << "}";
+       << host.snapshots.load(std::memory_order_relaxed)
+       << ", \"bytes_live\": " << mem_stats.live_bytes
+       << ", \"bytes_high_water\": " << mem_stats.high_water_bytes << "}";
   }
   os << "]}\n";
   return os.str();

@@ -29,14 +29,28 @@ std::string fnv1a_digest(const Matrix& m) {
 
 }  // namespace
 
+// Each heavy member initializer runs inside an immediately-invoked
+// lambda holding MemScope(kServe, mem_domain_): MemScope is thread-
+// bound and strictly LIFO, so it cannot be a member, but a per-
+// initializer scope attributes every tracked byte (weights, stream
+// features, engine state) to this tenant's domain. Nested scopes the
+// callees install (e.g. the generator's kFeatures) refine the
+// subsystem while inheriting the domain.
 Tenant::Tenant(TenantConfig cfg)
     : cfg_(std::move(cfg)),
-      weights_(DgnnWeights::init(
-          ModelConfig::preset(cfg_.model),
-          datasets::config(cfg_.dataset, cfg_.scale).feature_dim,
-          cfg_.weight_seed)),
-      stream_(datasets::load(cfg_.dataset, cfg_.scale,
-                             cfg_.stream_snapshots)),
+      mem_domain_(obs::mem::MemRegistry::global().domain("tenant:" +
+                                                         cfg_.name)),
+      weights_(([&] {
+        obs::mem::MemScope sc(obs::mem::Subsystem::kServe, mem_domain_);
+        return DgnnWeights::init(
+            ModelConfig::preset(cfg_.model),
+            datasets::config(cfg_.dataset, cfg_.scale).feature_dim,
+            cfg_.weight_seed);
+      })()),
+      stream_(([&] {
+        obs::mem::MemScope sc(obs::mem::Subsystem::kServe, mem_domain_);
+        return datasets::load(cfg_.dataset, cfg_.scale, cfg_.stream_snapshots);
+      })()),
       infer_(weights_, [this] {
         // Replies read state()/rows, never per-snapshot outputs, so the
         // engine need not retain them; redundancy analysis is a bench
@@ -155,6 +169,10 @@ Reply Tenant::infer(const InferCommand& cmd) {
 }
 
 Reply Tenant::apply(const Request& req) {
+  // One tenant = one worker thread (see ServeCore), so everything a
+  // request allocates — snapshot copies, delta rebuilds, engine state
+  // growth — is charged to this tenant's domain.
+  obs::mem::MemScope mem_scope(obs::mem::Subsystem::kServe, mem_domain_);
   return req.op == OpKind::kIngest ? ingest(req.ingest) : infer(req.infer);
 }
 

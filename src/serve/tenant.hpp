@@ -21,6 +21,7 @@
 #include "graph/dynamic_graph.hpp"
 #include "nn/streaming.hpp"
 #include "nn/weights.hpp"
+#include "obs/mem/memtrack.hpp"
 #include "serve/protocol.hpp"
 
 namespace tagnn::serve {
@@ -67,12 +68,21 @@ class Tenant {
   }
   const OpCounts& total_counts() const { return infer_.total_counts(); }
 
+  /// Byte-accounting domain ("tenant:<name>") this tenant's tracked
+  /// allocations are charged to. Constant after construction; the serve
+  /// endpoints read its live/high-water stats lock-free.
+  obs::mem::DomainId mem_domain() const { return mem_domain_; }
+
  private:
   Reply base_reply(Status s) const;
   void push_next_stream_snapshot();
   bool apply_delta(const IngestCommand& cmd, std::string* error);
 
   TenantConfig cfg_;
+  // Declared before the heavy members: their initializers run under
+  // MemScope(kServe, mem_domain_) so every tracked byte they allocate
+  // lands in this tenant's domain.
+  obs::mem::DomainId mem_domain_ = obs::mem::kNoDomain;
   DgnnWeights weights_;
   DynamicGraph stream_;
   std::size_t stream_pos_ = 0;

@@ -51,6 +51,18 @@ std::vector<obs::analyze::CycleStack> diagnose_window_stacks(
   return out;
 }
 
+obs::analyze::MemDiagnosis diagnose_memory(const MemReportContext& mem) {
+  obs::analyze::MemFitInput in;
+  in.vertices = mem.vertices;
+  in.edges = mem.edges;
+  in.snapshots = mem.snapshots;
+  in.scale = mem.scale;
+  in.target_scale = mem.target_scale;
+  in.budget_bytes = obs::analyze::mem_budget_bytes();
+  in.snapshot = obs::mem::MemRegistry::global().snapshot();
+  return obs::analyze::diagnose_memory(in);
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -86,7 +98,8 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_json_report(std::ostream& os, const std::string& workload,
-                       const TagnnConfig& cfg, const AccelResult& r) {
+                       const TagnnConfig& cfg, const AccelResult& r,
+                       const MemReportContext& mem) {
   const OpCounts c = r.functional.total_counts();
   const auto num = [&os](double v) { obs::write_json_number(os, v); };
   os << "{\n"
@@ -194,15 +207,18 @@ void write_json_report(std::ostream& os, const std::string& workload,
     os << (i ? ", " : "");
     obs::analyze::write_cycle_stack_json(os, window_stacks[i], 8);
   }
-  os << "]\n    }\n  },\n"
+  os << "]\n    },\n    \"memory\": ";
+  obs::analyze::write_memory_diagnosis_json(os, diagnose_memory(mem));
+  os << "\n  },\n"
      << "  \"windows\": " << r.windows << "\n"
      << "}\n";
 }
 
 std::string json_report(const std::string& workload, const TagnnConfig& cfg,
-                        const AccelResult& result) {
+                        const AccelResult& result,
+                        const MemReportContext& mem) {
   std::ostringstream os;
-  write_json_report(os, workload, cfg, result);
+  write_json_report(os, workload, cfg, result, mem);
   return os.str();
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/analyze/cycle_stack.hpp"
+#include "obs/analyze/memfit.hpp"
 #include "obs/analyze/roofline.hpp"
 #include "tagnn/accelerator.hpp"
 
@@ -31,17 +32,37 @@ obs::analyze::CycleStack diagnose_cycle_stack(const AccelResult& result);
 std::vector<obs::analyze::CycleStack> diagnose_window_stacks(
     const AccelResult& result);
 
+/// Workload shape for the memory scale-projection diagnosis
+/// (diagnosis.memory). All-zero (the default) means "shape unknown":
+/// the section still reports observed high-water marks, but no
+/// bytes-per-vertex/edge fit or TAGNN_SCALE projection.
+struct MemReportContext {
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;  // summed across snapshots
+  std::uint64_t snapshots = 0;
+  double scale = 0.0;         // generator scale the run used
+  double target_scale = 1.0;  // project to this scale (TAGNN_SCALE=1)
+};
+
+/// diagnosis.memory: per-subsystem high-water marks from the tracked-
+/// allocation registry plus the scale projection from `mem` (see
+/// obs/analyze/memfit.hpp).
+obs::analyze::MemDiagnosis diagnose_memory(const MemReportContext& mem);
+
 /// Writes one JSON object describing the run. `workload` names the
 /// dataset/model pair for the report consumer. Includes a "diagnosis"
-/// object (roofline verdict + cycle stacks) built from the helpers
-/// above; all doubles go through obs::write_json_number, so the output
-/// is valid JSON even when a value is non-finite.
+/// object (roofline verdict + cycle stacks + memory projection) built
+/// from the helpers above; all doubles go through
+/// obs::write_json_number, so the output is valid JSON even when a
+/// value is non-finite.
 void write_json_report(std::ostream& os, const std::string& workload,
-                       const TagnnConfig& cfg, const AccelResult& result);
+                       const TagnnConfig& cfg, const AccelResult& result,
+                       const MemReportContext& mem = {});
 
 /// Convenience: returns the JSON as a string.
 std::string json_report(const std::string& workload, const TagnnConfig& cfg,
-                        const AccelResult& result);
+                        const AccelResult& result,
+                        const MemReportContext& mem = {});
 
 /// Escapes a string for embedding in JSON (quotes, control chars).
 std::string json_escape(const std::string& s);

@@ -8,14 +8,15 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "obs/mem/memtrack.hpp"
 
 namespace tagnn {
 
 class Matrix {
  public:
-  Matrix() = default;
+  Matrix() : data_(alloc()) {}
   Matrix(std::size_t rows, std::size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f, alloc()) {}
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -63,9 +64,17 @@ class Matrix {
   }
 
  private:
+  // Buffer bytes are charged to the innermost obs::mem::MemScope when
+  // one is live (snapshot features -> kFeatures, O-CSR feature table ->
+  // kOcsr, tenant state -> kServe) and to kTensor otherwise (weights,
+  // activations, engine scratch).
+  static obs::mem::TrackedAllocator<float> alloc() {
+    return {obs::mem::Subsystem::kTensor, /*prefer_scope=*/true};
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<float> data_;
+  obs::mem::vec<float> data_;
 };
 
 }  // namespace tagnn

@@ -24,24 +24,26 @@ namespace tagnn {
 // White-box access to the structures' private state for corruption
 // tests. Each structure under audit declares `friend struct TestPeer`.
 struct TestPeer {
-  static std::vector<VertexId>& csr_neighbors(CsrGraph& g) {
+  static obs::mem::vec<VertexId>& csr_neighbors(CsrGraph& g) {
     return g.neighbors_;
   }
-  static std::vector<EdgeId>& csr_offsets(CsrGraph& g) { return g.offsets_; }
+  static obs::mem::vec<EdgeId>& csr_offsets(CsrGraph& g) {
+    return g.offsets_;
+  }
 
-  static std::vector<std::uint64_t>& pma_keys(Pma& p) { return p.keys_; }
-  static std::vector<std::uint32_t>& pma_seg_count(Pma& p) {
+  static obs::mem::vec<std::uint64_t>& pma_keys(Pma& p) { return p.keys_; }
+  static obs::mem::vec<std::uint32_t>& pma_seg_count(Pma& p) {
     return p.seg_count_;
   }
   static std::size_t& pma_count(Pma& p) { return p.count_; }
 
-  static std::vector<std::uint32_t>& ocsr_enum_counts(OCsr& o) {
+  static obs::mem::vec<std::uint32_t>& ocsr_enum_counts(OCsr& o) {
     return o.enum_counts_;
   }
-  static std::vector<SnapshotId>& ocsr_timestamps(OCsr& o) {
+  static obs::mem::vec<SnapshotId>& ocsr_timestamps(OCsr& o) {
     return o.timestamps_;
   }
-  static std::vector<std::uint32_t>& ocsr_slot_of(OCsr& o) {
+  static obs::mem::vec<std::uint32_t>& ocsr_slot_of(OCsr& o) {
     return o.slot_of_;
   }
 

@@ -44,6 +44,9 @@ allow = ["common", "tensor", "obs", "nn"]
 [hotpath]
 paths = ["src/tensor/kernels_scalar.cpp", "src/tensor/kernels_avx2.cpp"]
 
+[memtrack]
+paths = ["src/tensor/store.cpp"]
+
 [determinism]
 allow = ["src/obs/"]
 )toml";
@@ -96,6 +99,7 @@ TEST(LintManifest, ParsesFixtureManifest) {
   EXPECT_EQ(cfg.layers[3].allow.size(), 3u);
   EXPECT_EQ(cfg.hotpath_paths.size(), 2u);
   EXPECT_EQ(cfg.determinism_allow.size(), 1u);
+  EXPECT_EQ(cfg.memtrack_paths.size(), 1u);
 }
 
 TEST(LintManifest, ParsesRealRepoManifest) {
@@ -112,6 +116,10 @@ TEST(LintManifest, ParsesRealRepoManifest) {
   EXPECT_NE(std::find(cfg.hotpath_paths.begin(), cfg.hotpath_paths.end(),
                       "src/tensor/kernels_scalar.cpp"),
             cfg.hotpath_paths.end());
+  // The tracked graph-storage TUs must stay under memtrack scrutiny.
+  EXPECT_NE(std::find(cfg.memtrack_paths.begin(), cfg.memtrack_paths.end(),
+                      "src/graph/pma.cpp"),
+            cfg.memtrack_paths.end());
 }
 
 TEST(LintManifest, RejectsUnknownAllowEdge) {
@@ -309,6 +317,50 @@ TEST(LintDeterminism, AllowlistedPathsExempt) {
 }
 
 // ---------------------------------------------------------------------------
+// Memory tracking (memtrack-container)
+// ---------------------------------------------------------------------------
+
+TEST(LintMemtrack, BareVectorAndNewArrayFlagged) {
+  const auto scan = lint::scan_source(
+      "src/tensor/store.cpp",
+      "#include <vector>\n"
+      "std::vector<int> untracked;\n"
+      "int* raw = new int[8];\n",
+      config());
+  EXPECT_EQ(count_rule(scan.findings, "memtrack-container"), 2);
+}
+
+TEST(LintMemtrack, TrackedStorageAndScalarNewPass) {
+  // obs::mem::vec spells no `std::vector` token sequence, and a scalar
+  // `new T(...)` is not array storage.
+  const auto scan = lint::scan_source(
+      "src/tensor/store.cpp",
+      "obs::mem::vec<int> tracked = obs::mem::tagged<int>(sub);\n"
+      "auto* one = new Node(3);\n",
+      config());
+  EXPECT_EQ(count_rule(scan.findings, "memtrack-container"), 0);
+}
+
+TEST(LintMemtrack, RuleOnlyAppliesToListedFiles) {
+  const auto scan = lint::scan_source(
+      "src/tensor/other.cpp", "std::vector<int> fine;\nint* p = new int[4];\n",
+      config());
+  EXPECT_EQ(count_rule(scan.findings, "memtrack-container"), 0);
+}
+
+TEST(LintMemtrack, FileSuppressionCoversPublicApiSignatures) {
+  const auto scan = lint::scan_source(
+      "src/tensor/store.cpp",
+      "// tagnn-lint: allow-file(memtrack-container) -- public API takes "
+      "plain vectors\n"
+      "void take(std::vector<int> v);\n",
+      config());
+  EXPECT_EQ(count_rule(scan.findings, "memtrack-container"), 0);
+  ASSERT_EQ(scan.suppressed.size(), 1u);
+  EXPECT_EQ(scan.suppressed[0].rule, "memtrack-container");
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
@@ -384,11 +436,12 @@ TEST(LintReport, GithubAnnotationsEscapeNewlines) {
 
 TEST(LintReport, KnownRulesCoverAllFamilies) {
   const auto& rules = lint::known_rules();
-  EXPECT_GE(rules.size(), 10u);
+  EXPECT_GE(rules.size(), 11u);
   for (const char* r :
        {"layering-include", "hotpath-libm", "hotpath-alloc", "hotpath-lock",
         "bitexact-fma", "bitexact-contract", "bitexact-accum-tag",
-        "determinism-entropy", "determinism-clock", "suppression-format"}) {
+        "determinism-entropy", "determinism-clock", "memtrack-container",
+        "suppression-format"}) {
     EXPECT_NE(std::find(rules.begin(), rules.end(), r), rules.end()) << r;
   }
 }

@@ -26,6 +26,15 @@ on the host); it compares quantities that are stable across machines:
                  as a failure so the change is made consciously.
   * cycles     — simulated accelerator cycles (deterministic). A rise
                  above baseline * (1 + cycles-tolerance) fails.
+  * memory     — a baseline entry may carry an optional
+                 "mem_ceiling_bytes": the gate fails when the result's
+                 tracked-allocation high-water ("mem_high_water_bytes",
+                 emitted by bench_regress per bench) exceeds it.
+                 Ceilings are deliberately generous (engine scratch
+                 scales with the runner's core count); they catch a
+                 structure that forgot to release memory or an
+                 accidental O(V^2) buffer, not percent-level drift.
+                 Results that predate the field skip the check.
 
 `tagnn.loadgen.v1` (tools/tagnn_loadgen) — latency ceilings. The
 baseline (schema `tagnn.serve_baseline.v1`, e.g.
@@ -204,6 +213,14 @@ def main():
             failures.append(
                 f"{name}: cycles {cur['cycles']:g} > ceiling {ceil:g} "
                 f"(baseline {base['cycles']:g})")
+        mem_ceiling = base.get("mem_ceiling_bytes")
+        mem_observed = cur.get("mem_high_water_bytes")
+        if mem_ceiling is not None and mem_observed is not None \
+                and mem_observed > mem_ceiling:
+            status = "MEMORY"
+            failures.append(
+                f"{name}: tracked high-water {mem_observed:g} B > "
+                f"ceiling {mem_ceiling:g} B")
         rows.append((name, status, f"{cur['speedup']:.2f}x",
                      f"{base_speedup:.2f}x"))
 

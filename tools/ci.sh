@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full correctness pipeline: builds and tests the default, asan-ubsan,
-# and tsan presets (all with -Werror), runs the live-telemetry and
-# serving smokes (tagnn_serve under tagnn_loadgen load, gated against
-# bench/baselines/serve_quick.json), the tagnn_lint invariants checker
+# and tsan presets (all with -Werror), runs the live-telemetry,
+# serving (tagnn_serve under tagnn_loadgen load, gated against
+# bench/baselines/serve_quick.json), and memory-observability smokes
+# (/memory.json + ballast-rejection self-test), the tagnn_lint
+# invariants checker
 # plus its negative self-test, the bench-regression gate, then
 # clang-tidy via tools/lint.sh. Any warning, test failure, sanitizer
 # report, bench or serving regression, or lint finding fails the script.
@@ -11,7 +13,7 @@
 #   --fast         default preset only (skip sanitizer builds, bench
 #                  gate, clang-tidy; tagnn_lint still runs — it is
 #                  sub-second)
-#   --smoke NAME   run a single smoke (telemetry|live|serve) against an
+#   --smoke NAME   run a single smoke (telemetry|live|serve|mem) against an
 #                  existing build tree and exit — this is what the CI
 #                  smoke jobs call, so local and CI run identical logic
 #
@@ -366,6 +368,96 @@ sys.exit(0 if req["shed"] > 0 else "server /slo.json reports zero sheds")' \
   echo "serve smoke: zero failures, budget gate + self-test, shed leg ok"
 }
 
+mem_smoke() {
+  # Memory-observability smoke (docs/OBSERVABILITY.md, "Memory
+  # observability"): a live host must serve a valid tagnn.mem.v1
+  # /memory.json and expose tagnn_mem_* gauges on /metrics, the run
+  # report must carry a fitted diagnosis.memory, and the bench memory
+  # gate must reject an injected kBallast allocation (negative
+  # self-test — a blind ceiling is worse than none).
+  # Same errexit caveat as telemetry_smoke: chain statuses explicitly.
+  local build_dir="$1"
+  local dir cleanup=1
+  if [ -n "${TAGNN_MEM_SMOKE_DIR:-}" ]; then
+    dir="$TAGNN_MEM_SMOKE_DIR"
+    mkdir -p "$dir" || return 1
+    cleanup=0
+  else
+    dir="$(mktemp -d)" || return 1
+  fi
+
+  # /memory.json + tagnn_mem_* gauges from a live host.
+  "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
+    --live-port 0 --live-interval-ms 50 --live-linger-ms 60000 \
+    > /dev/null 2> "$dir/sim.log" &
+  local pid=$! port="" i
+  for i in $(seq 1 100); do
+    port="$(sed -n 's/^live: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$dir/sim.log")"
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2> /dev/null; then
+      echo "mem smoke: simulator exited before announcing a port" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    kill "$pid" 2> /dev/null
+    echo "mem smoke: no 'live: listening' line within 10s" >&2
+    return 1
+  fi
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /memory.json \
+    > "$dir/memory.json" &&
+  "$build_dir/tools/json_validate" "$dir/memory.json" &&
+  grep -q '"schema": "tagnn.mem.v1"' "$dir/memory.json" &&
+  grep -q '"subsystems"' "$dir/memory.json" &&
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /metrics \
+    > "$dir/metrics.om" &&
+  grep -q '^tagnn_mem_process_rss_bytes ' "$dir/metrics.om" &&
+  grep -q '^tagnn_mem_tracked_high_water_bytes ' "$dir/metrics.om" &&
+  "$build_dir/tools/tagnn_top" --port "$port" --fetch /quit > /dev/null \
+    || { kill "$pid" 2> /dev/null; return 1; }
+  local rc=0
+  wait "$pid" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "mem smoke: simulator exited $rc after /quit (want 0)" >&2
+    return 1
+  fi
+
+  # The run report must carry a fitted scale projection.
+  "$build_dir/tools/tagnn_sim" --scale 0.1 --snapshots 4 \
+    --report-out "$dir/report.json" > /dev/null &&
+  "$build_dir/tools/json_validate" "$dir/report.json" &&
+  grep -q '"memory": {"has_fit": true' "$dir/report.json" || return 1
+
+  # Memory-budget gate: clean run passes (speedup floors slackened to
+  # near-zero — this leg gates only memory), ballast run must fail with
+  # a MEMORY verdict.
+  "$build_dir/bench/bench_regress" --quick --iters 1 \
+    --out "$dir/bench.json" > /dev/null &&
+  python3 tools/bench_compare.py "$dir/bench.json" \
+    bench/baselines/quick.json --tolerance 0.95 > /dev/null || return 1
+  TAGNN_MEM_BALLAST_MB=256 "$build_dir/bench/bench_regress" --quick \
+    --iters 1 --out "$dir/bench_ballast.json" > /dev/null || return 1
+  local gate_rc=0
+  python3 tools/bench_compare.py "$dir/bench_ballast.json" \
+    bench/baselines/quick.json --tolerance 0.95 \
+    > "$dir/gate.log" 2>&1 || gate_rc=$?
+  if [ "$gate_rc" -eq 0 ]; then
+    echo "mem smoke: injected 256MB ballast not rejected —" \
+         "memory gate is blind" >&2
+    return 1
+  fi
+  if ! grep -q 'MEMORY' "$dir/gate.log"; then
+    echo "mem smoke: ballast run failed the gate for a non-memory reason:" >&2
+    cat "$dir/gate.log" >&2
+    return 1
+  fi
+  [ "$cleanup" -eq 1 ] && rm -rf "$dir"
+  echo "mem smoke: /memory.json valid, diagnosis.memory fitted," \
+       "ballast rejected"
+}
+
 bench_gate() {
   # Bench-regression gate (docs/PERFORMANCE.md): quick bench run,
   # JSON validity, then ratio/fingerprint comparison vs the checked-in
@@ -446,6 +538,8 @@ path = "src/nn"
 allow = ["common", "tensor"]
 [hotpath]
 paths = ["src/tensor/bad.cpp"]
+[memtrack]
+paths = ["src/tensor/store.cpp"]
 [determinism]
 allow = []
 EOF
@@ -454,9 +548,16 @@ EOF
 float f(float x) { return expf(x) + _mm256_cvtss_f32(
     _mm256_fmadd_ps(a, b, c)) + (float)rand(); }
 EOF
+  cat > "$dir/src/tensor/store.cpp" <<'EOF' || return 1
+#include <vector>
+std::vector<int> untracked;
+int* raw = new int[8];
+EOF
   cat > "$dir/compile_commands.json" <<EOF || return 1
 [{"directory": "$dir", "file": "src/tensor/bad.cpp",
-  "command": "g++ -mavx2 -c src/tensor/bad.cpp"}]
+  "command": "g++ -mavx2 -c src/tensor/bad.cpp"},
+ {"directory": "$dir", "file": "src/tensor/store.cpp",
+  "command": "g++ -c src/tensor/store.cpp"}]
 EOF
   local rc=0
   "$build_dir/tools/tagnn_lint" --db "$dir/compile_commands.json" \
@@ -468,7 +569,7 @@ EOF
   # Every injected rule family must be present in the findings doc.
   local rule
   for rule in layering-include hotpath-libm bitexact-fma \
-              bitexact-contract determinism-entropy; do
+              bitexact-contract determinism-entropy memtrack-container; do
     if ! grep -q "\"rule\": \"$rule\"" "$dir/lint.json"; then
       echo "lint self-test: injected $rule violation not flagged" >&2
       return 1
@@ -486,7 +587,8 @@ if [ "${1:-}" = "--smoke" ]; then
     telemetry) step "telemetry smoke" telemetry_smoke "${3:-build}" ;;
     live)      step "live smoke" live_smoke "${3:-build}" ;;
     serve)     step "serve smoke" serve_smoke "${3:-build}" ;;
-    *) echo "ci.sh: unknown smoke '${2:-}' (want telemetry|live|serve)" >&2
+    mem)       step "mem smoke" mem_smoke "${3:-build}" ;;
+    *) echo "ci.sh: unknown smoke '${2:-}' (want telemetry|live|serve|mem)" >&2
        exit 2 ;;
   esac
   exit 0
@@ -509,6 +611,7 @@ for preset in "${presets[@]}"; do
   if [ "$preset" = "default" ]; then
     step "[$preset] live smoke" live_smoke "$build_dir"
     step "[$preset] serve smoke" serve_smoke "$build_dir"
+    step "[$preset] mem smoke" mem_smoke "$build_dir"
   fi
 done
 

@@ -141,6 +141,40 @@ CycleStack stack_from_json(const JsonValue& j) {
   return s;
 }
 
+MemDiagnosis memory_from_json(const JsonValue& j) {
+  MemDiagnosis d;
+  if (const JsonValue* hf = j.find("has_fit")) d.has_fit = hf->as_bool();
+  d.observed_scale = j.number_at("observed_scale");
+  d.target_scale = j.number_at("target_scale");
+  d.vertices = static_cast<std::uint64_t>(j.number_at("vertices"));
+  d.edges = static_cast<std::uint64_t>(j.number_at("edges"));
+  d.snapshots = static_cast<std::uint64_t>(j.number_at("snapshots"));
+  d.bytes_per_vertex = j.number_at("bytes_per_vertex");
+  d.bytes_per_edge = j.number_at("bytes_per_edge");
+  d.budget_bytes = static_cast<std::uint64_t>(j.number_at("budget_bytes"));
+  d.observed_total_bytes =
+      static_cast<std::uint64_t>(j.number_at("observed_total_bytes"));
+  d.projected_total_bytes =
+      static_cast<std::uint64_t>(j.number_at("projected_total_bytes"));
+  if (const JsonValue* ob = j.find("over_budget")) d.over_budget = ob->as_bool();
+  d.first_over_budget = j.string_at("first_over_budget");
+  if (const JsonValue* subs = j.find("subsystems");
+      subs != nullptr && subs->is_array()) {
+    for (const JsonValue& s : subs->as_array()) {
+      SubsystemFit f;
+      f.subsystem = s.string_at("subsystem");
+      f.high_water_bytes =
+          static_cast<std::uint64_t>(s.number_at("high_water_bytes"));
+      f.basis = s.string_at("basis");
+      f.bytes_per_basis = s.number_at("bytes_per_basis");
+      f.projected_bytes =
+          static_cast<std::uint64_t>(s.number_at("projected_bytes"));
+      d.fits.push_back(std::move(f));
+    }
+  }
+  return d;
+}
+
 std::string fmt(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", v);
@@ -181,6 +215,21 @@ int cmd_render(const Flags& f) {
           for (const JsonValue& w : wins->as_array()) {
             in.stacks.push_back(stack_from_json(w));
           }
+        }
+      }
+      if (const JsonValue* memj = diag->find("memory");
+          memj != nullptr && memj->is_object()) {
+        in.memory = memory_from_json(*memj);
+        in.has_memory = true;
+        if (in.memory.has_fit) {
+          in.summary.emplace_back(
+              "projected memory @ scale " + fmt(in.memory.target_scale),
+              fmt(static_cast<double>(in.memory.projected_total_bytes) /
+                  (1024.0 * 1024.0)) +
+                  " MiB" +
+                  (in.memory.over_budget
+                       ? " (OVER BUDGET: " + in.memory.first_over_budget + ")"
+                       : ""));
         }
       }
     }

@@ -250,9 +250,19 @@ int run_impl(const Options& o) {
     obs::ScopedTrace span("simulate", "host");
     return TagnnAccelerator(o.cfg).run(g, w);
   }();
+  // Shape for diagnosis.memory: the edge basis is edges summed across
+  // snapshots (the amount of topology the run actually churned).
+  MemReportContext mem_ctx;
+  mem_ctx.vertices = g.num_vertices();
+  for (SnapshotId t = 0; t < g.num_snapshots(); ++t) {
+    mem_ctx.edges += g.snapshot(t).graph.num_edges();
+  }
+  mem_ctx.snapshots = g.num_snapshots();
+  mem_ctx.scale = o.scale;
+  mem_ctx.target_scale = 1.0;
   const OpCounts c = r.functional.total_counts();
   if (o.json) {
-    write_json_report(std::cout, g.name() + "/" + o.model, o.cfg, r);
+    write_json_report(std::cout, g.name() + "/" + o.model, o.cfg, r, mem_ctx);
   } else if (o.csv) {
     std::cout << "tagnn," << g.name() << ',' << o.model << ','
               << to_string(o.cfg.format) << ',' << o.cfg.num_dcus << ','
@@ -285,7 +295,7 @@ int run_impl(const Options& o) {
       throw std::runtime_error("cannot open report output file: " +
                                o.tel.report_out);
     }
-    write_json_report(f, g.name() + "/" + o.model, o.cfg, r);
+    write_json_report(f, g.name() + "/" + o.model, o.cfg, r, mem_ctx);
   }
   if (o.tel.wants_ledger()) {
     obs::analyze::RunRecord rec =

@@ -110,6 +110,20 @@ std::string human_rate(double v) {
   return buf;
 }
 
+std::string human_bytes(double v) {
+  char buf[32];
+  if (v >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB", v / (1024.0 * 1024.0 * 1024.0));
+  } else if (v >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fMiB", v / (1024.0 * 1024.0));
+  } else if (v >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fKiB", v / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fB", v);
+  }
+  return buf;
+}
+
 struct Frame {
   std::uint64_t seq = 0;
   double uptime_s = 0;
@@ -189,6 +203,51 @@ void render(std::ostream& os, const Options& o, const Frame& f,
   }
   if (!any_unit) {
     os << dim << "  (no tagnn.accel.unit.* gauges yet)" << reset << "\n";
+  }
+
+  // Per-subsystem byte accounting from the tagnn.mem.* gauges, each bar
+  // showing live bytes against the subsystem's own high-water mark.
+  os << "\n" << bold << "memory" << reset << "\n";
+  {
+    const JsonValue* rss = f.metrics.find("tagnn.mem.process.rss_bytes");
+    const JsonValue* maxrss = f.metrics.find("tagnn.mem.process.maxrss_bytes");
+    const JsonValue* tracked = f.metrics.find("tagnn.mem.tracked.live_bytes");
+    if (rss != nullptr || tracked != nullptr) {
+      os << "  process rss "
+         << human_bytes(rss != nullptr ? rss->number_at("value") : 0)
+         << "  maxrss "
+         << human_bytes(maxrss != nullptr ? maxrss->number_at("value") : 0)
+         << "  tracked "
+         << human_bytes(tracked != nullptr ? tracked->number_at("value") : 0)
+         << "\n";
+    }
+    bool any_mem = false;
+    for (const auto& [name, v] : f.metrics.as_object()) {
+      constexpr const char* kPrefix = "tagnn.mem.";
+      constexpr const char* kLive = ".live_bytes";
+      if (name.rfind(kPrefix, 0) != 0) continue;
+      const std::size_t tail = name.rfind(kLive);
+      if (tail == std::string::npos ||
+          tail + std::string(kLive).size() != name.size()) {
+        continue;
+      }
+      const std::string sub = name.substr(std::string(kPrefix).size(),
+                                          tail - std::string(kPrefix).size());
+      if (sub == "process" || sub == "tracked" || sub.empty()) continue;
+      const double live = v.number_at("value");
+      const JsonValue* hwv =
+          f.metrics.find(std::string(kPrefix) + sub + ".high_water_bytes");
+      const double hw = hwv != nullptr ? hwv->number_at("value") : 0;
+      const double frac = hw > 0 ? live / hw : 0;
+      any_mem = true;
+      char line[200];
+      std::snprintf(line, sizeof(line), "  %-10s [%s] %-10s", sub.c_str(),
+                    bar(frac, 30).c_str(), human_bytes(live).c_str());
+      os << line << dim << " (hw " << human_bytes(hw) << ")" << reset << "\n";
+    }
+    if (!any_mem) {
+      os << dim << "  (no tagnn.mem.* gauges yet)" << reset << "\n";
+    }
   }
 
   // Latency quantiles for every histogram in the snapshot.
